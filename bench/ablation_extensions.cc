@@ -1,0 +1,125 @@
+// Ablation for the Section 7 extensions implemented beyond the paper's
+// evaluation:
+//  (a) semijoin pre-pass (Wong-Youssefi direction): confirms the paper's
+//      Section 2 claim that semijoins are useless on the coloring queries,
+//      and shows they bite once a selective relation is added;
+//  (b) mini-bucket relaxation (Dechter): refutation power and work as a
+//      function of the arity bound on overconstrained instances.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "encode/reference.h"
+#include "exec/executor.h"
+#include "exec/minibuckets.h"
+#include "exec/semijoin_pass.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+void SemijoinAblation(int seeds) {
+  Database db;
+  AddColoringRelations(3, &db);
+  std::printf("== Ablation: semijoin pre-pass ==\n");
+  std::printf("(tuples removed by the fixpoint, then execution tuples with "
+              "and without the pass; %d seeds)\n\n",
+              seeds);
+  SeriesTable table("query", {"removed", "exec-tuples", "exec-after-pass"});
+  struct Config {
+    const char* name;
+    bool pinned;
+  };
+  for (const Config& config : {Config{"coloring (order 12, d=2.5)", false},
+                               Config{"coloring + pinned vertex", true}}) {
+    double removed = 0;
+    double before = 0;
+    double after = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<uint64_t>(seed) * 97 + 3);
+      Graph g = RandomGraphWithDensity(12, 2.5, rng);
+      ConjunctiveQuery coloring = KColorQuery(g);
+      ConjunctiveQuery q = coloring;
+      Database instance_db = db;
+      if (config.pinned) {
+        instance_db.Put("pin", Relation{Schema({0}), {{1}}});
+        ConjunctiveQuery pinned({Atom{"pin", {coloring.free_vars()[0]}}},
+                                {});
+        for (const Atom& atom : coloring.atoms()) pinned.AddAtom(atom);
+        pinned.SetFreeVars(coloring.free_vars());
+        q = pinned;
+      }
+      ExecutionResult direct =
+          ExecutePlan(q, BucketEliminationPlanMcs(q, &rng), instance_db);
+      SemijoinPassResult pass = SemijoinReduce(q, instance_db);
+      ExecutionResult reduced =
+          ExecutePlan(pass.query, BucketEliminationPlanMcs(pass.query, &rng),
+                      pass.db);
+      removed += static_cast<double>(pass.tuples_removed);
+      before += static_cast<double>(direct.stats.tuples_produced);
+      after += static_cast<double>(reduced.stats.tuples_produced);
+    }
+    char rm[32], bf[32], af[32];
+    std::snprintf(rm, sizeof(rm), "%.0f", removed / seeds);
+    std::snprintf(bf, sizeof(bf), "%.0f", before / seeds);
+    std::snprintf(af, sizeof(af), "%.0f", after / seeds);
+    table.AddRow(config.name, {rm, bf, af});
+  }
+  table.Print();
+  std::printf("\nReading: the pure coloring rows remove nothing (the paper's "
+              "Section 2 claim);\nselective relations make the pass "
+              "worthwhile.\n\n");
+}
+
+void MiniBucketAblation(int seeds) {
+  Database db;
+  AddColoringRelations(3, &db);
+  std::printf("== Ablation: mini-bucket relaxation, overconstrained random "
+              "instances ==\n");
+  std::printf("(order 16, density 6.0 — virtually all uncolorable; %d "
+              "seeds)\n\n",
+              seeds);
+  SeriesTable table("i-bound", {"refuted", "mean-tuples", "buckets-split"});
+  for (int i_bound : {2, 3, 4, 5, 6, 8, 12, 17}) {
+    int refuted = 0;
+    double tuples = 0;
+    double split = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<uint64_t>(seed) * 57 + 11);
+      Graph g = RandomGraphWithDensity(16, 6.0, rng);
+      ConjunctiveQuery q = KColorQuery(g);
+      MiniBucketResult r = MiniBucketEliminateMcs(q, db, i_bound, &rng,
+                                                  /*tuple_budget=*/5'000'000);
+      if (r.status.ok() && r.proven_empty) ++refuted;
+      tuples += static_cast<double>(r.stats.tuples_produced);
+      split += r.buckets_split;
+    }
+    char rf[32], tp[32], sp[32];
+    std::snprintf(rf, sizeof(rf), "%d/%d", refuted, seeds);
+    std::snprintf(tp, sizeof(tp), "%.0f", tuples / seeds);
+    std::snprintf(sp, sizeof(sp), "%.1f", split / seeds);
+    table.AddRow(std::to_string(i_bound), {rf, tp, sp});
+  }
+  table.Print();
+  std::printf("\nReading: higher i-bounds refute more instances at higher "
+              "cost; at i-bound >= the\ninduced width no bucket splits and "
+              "the decision is exact.\n");
+}
+
+int Main(int argc, char** argv) {
+  const int seeds = static_cast<int>(ParseSweepFlag(argc, argv, "seeds", 10));
+  SemijoinAblation(seeds);
+  MiniBucketAblation(seeds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

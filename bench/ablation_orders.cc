@@ -1,0 +1,122 @@
+// Ablation: how much does the variable-ordering heuristic matter for
+// bucket elimination? The paper uses the MCS order of Tarjan-Yannakakis
+// (Section 5); this bench compares the plan widths and execution work
+// obtained from MCS, min-degree, min-fill, and (for small instances) the
+// exact optimal elimination order.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+
+namespace ppr {
+namespace {
+
+// Builds the BE numbering (free vars first, then reverse elimination
+// order) from an elimination order of the join graph.
+std::vector<AttrId> NumberingFromOrder(const EliminationOrder& order) {
+  return std::vector<AttrId>(order.rbegin(), order.rend());
+}
+
+// Moves the query's free variables to the back of an elimination order so
+// they are numbered first.
+EliminationOrder DeferFreeVars(const ConjunctiveQuery& q,
+                               const EliminationOrder& order) {
+  EliminationOrder out;
+  std::vector<int> tail;
+  for (int v : order) {
+    bool is_free = false;
+    for (AttrId f : q.free_vars()) is_free |= (f == v);
+    (is_free ? tail : out).push_back(v);
+  }
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+struct OrderingResult {
+  double width_sum = 0;
+  double tuples_sum = 0;
+  int timeouts = 0;
+  int runs = 0;
+};
+
+int Main(int argc, char** argv) {
+  const int seeds = static_cast<int>(ParseSweepFlag(argc, argv, "seeds", 10));
+  const Counter budget = ParseSweepFlag(argc, argv, "budget", 10'000'000);
+  const int order_n = static_cast<int>(ParseSweepFlag(argc, argv, "order", 14));
+
+  Database db;
+  AddColoringRelations(3, &db);
+
+  std::printf("== Ablation: bucket-elimination variable orders ==\n");
+  std::printf("(random 3-COLOR, order %d, densities 1.5/3.0/6.0, %d seeds; "
+              "mean plan width / mean tuples / timeouts)\n\n",
+              order_n, seeds);
+
+  SeriesTable table("density", {"mcs", "min-degree", "min-fill", "exact"});
+  for (double density : {1.5, 3.0, 6.0}) {
+    std::vector<std::string> cells;
+    for (int heuristic = 0; heuristic < 4; ++heuristic) {
+      OrderingResult acc;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) * 131 + 5);
+        Graph g = RandomGraphWithDensity(order_n, density, rng);
+        ConjunctiveQuery q = KColorQuery(g);
+        const Graph jg = BuildJoinGraph(q);
+
+        EliminationOrder order;
+        switch (heuristic) {
+          case 0:
+            order = McsEliminationOrder(jg, q.free_vars(), &rng);
+            break;
+          case 1:
+            order = MinDegreeOrder(jg, q.free_vars());
+            break;
+          case 2:
+            order = MinFillOrder(jg, q.free_vars());
+            break;
+          case 3:
+            order = DeferFreeVars(q, ExactOptimalOrder(jg));
+            break;
+        }
+        Plan plan = BucketEliminationPlan(q, NumberingFromOrder(order));
+        acc.width_sum += plan.Width();
+        ExecutionResult r = ExecutePlan(q, plan, db, budget);
+        if (r.status.code() == StatusCode::kResourceExhausted) {
+          acc.timeouts++;
+        } else {
+          acc.tuples_sum += static_cast<double>(r.stats.tuples_produced);
+        }
+        acc.runs++;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "w=%.1f t=%.0f to=%d",
+                    acc.width_sum / acc.runs,
+                    acc.tuples_sum / std::max(1, acc.runs - acc.timeouts),
+                    acc.timeouts);
+      cells.push_back(buf);
+    }
+    table.AddRow(std::to_string(density).substr(0, 3), cells);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: lower w (mean bucket join width) and t (mean tuples)\n"
+      "are better. MCS is the paper's choice; min-fill typically matches\n"
+      "or beats it, and the exact order lower-bounds all heuristics.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

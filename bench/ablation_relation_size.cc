@@ -1,0 +1,72 @@
+// Ablation for Section 7's call to "study scalability with respect to
+// relation size": the k-COLOR encoder generalizes the 6-tuple 3-COLOR
+// edge relation to k(k-1) tuples, so sweeping k scales the stored
+// relation (and the attribute domain) while the query structure stays
+// fixed. Width bounds are structural — identical across k — but the
+// *rows* behind each width grow polynomially in k.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int order = static_cast<int>(ParseSweepFlag(argc, argv, "order", 8));
+  const Counter budget = ParseSweepFlag(argc, argv, "budget", 20'000'000);
+
+  std::printf("== Ablation: relation-size scaling (k-COLOR, ladder order "
+              "%d) ==\n",
+              order);
+  std::printf("(edge relation has k(k-1) tuples; structural widths are "
+              "k-independent)\n\n");
+
+  SeriesTable table("k", {"relation-rows", "early(s)", "bucket(s)",
+                          "bucket-tuples", "width", "colorable"});
+  for (int k = 2; k <= 7; ++k) {
+    Database db;
+    AddColoringRelations(k, &db);
+    ConjunctiveQuery q = KColorQuery(Ladder(order));
+
+    StrategyRun early =
+        RunStrategy(StrategyKind::kEarlyProjection, q, db, budget, 1);
+    StrategyRun bucket =
+        RunStrategy(StrategyKind::kBucketElimination, q, db, budget, 1);
+    const double early_s =
+        early.timed_out ? std::numeric_limits<double>::infinity()
+                        : early.exec_seconds;
+    const double bucket_s =
+        bucket.timed_out ? std::numeric_limits<double>::infinity()
+                         : bucket.exec_seconds;
+    table.AddRow(
+        std::to_string(k),
+        {std::to_string(k * (k - 1)), FormatSeconds(early_s),
+         FormatSeconds(bucket_s),
+         bucket.timed_out ? "TIMEOUT"
+                          : std::to_string(bucket.tuples_produced),
+         std::to_string(bucket.plan_width),
+         bucket.timed_out ? "?" : (bucket.nonempty ? "yes" : "no")});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the plan width column is constant — the structural\n"
+      "optimization is oblivious to relation size — while tuples grow\n"
+      "polynomially with k (each width-w intermediate holds up to k^w\n"
+      "rows). Ladders are 2-colorable, so every k >= 2 answers yes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

@@ -1,0 +1,71 @@
+// Ablation: the design choices DESIGN.md calls out.
+//  (a) Does greedy reordering help or hurt? (The paper's Fig. 7 finds it
+//      *hurts* on ladders — "not only is the heuristic unable to find a
+//      better order, but it actually finds a worse one".)
+//  (b) How does the Algorithm-3 treewidth planner (an extension the paper
+//      proves but does not benchmark) compare with bucket elimination?
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "benchlib/harness.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+int Main(int argc, char** argv) {
+  SweepOptions options;
+  options.strategies = {
+      StrategyKind::kStraightforward, StrategyKind::kEarlyProjection,
+      StrategyKind::kReordering, StrategyKind::kBucketElimination,
+      StrategyKind::kTreewidth};
+  options.seeds = 1;
+  ApplyCommonFlags(argc, argv, &options);
+
+  // (a) Ladders: the natural order is already good, so reordering can only
+  // scramble it; compare the "early" and "reorder" columns.
+  std::vector<SweepPoint> ladder_points;
+  for (int order : {5, 10, 15, 20}) {
+    ladder_points.push_back(SweepPoint{
+        std::to_string(order), [order](Rng&) { return Ladder(order); }});
+  }
+  RunColoringSweep(
+      "Ablation (a): reordering vs natural order on ladders (+ treewidth "
+      "planner)",
+      "order", ladder_points, options);
+
+  // (b) All five strategies on the hardest family.
+  std::vector<SweepPoint> acl_points;
+  for (int order : {3, 5, 8, 12, 16}) {
+    acl_points.push_back(SweepPoint{
+        std::to_string(order),
+        [order](Rng&) { return AugmentedCircularLadder(order); }});
+  }
+  RunColoringSweep(
+      "Ablation (b): all strategies on augmented circular ladders",
+      "order", acl_points, options);
+
+  // (c) Random graphs at the colorable/uncolorable boundary.
+  SweepOptions random_options = options;
+  random_options.seeds = 3;
+  std::vector<SweepPoint> random_points;
+  for (double density : {2.0, 3.0, 4.0}) {
+    random_points.push_back(SweepPoint{
+        std::to_string(density).substr(0, 3), [density](Rng& rng) {
+          return RandomGraphWithDensity(16, density, rng);
+        }});
+  }
+  RunColoringSweep(
+      "Ablation (c): all strategies near the 3-COLOR phase transition "
+      "(order 16)",
+      "density", random_points, random_options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

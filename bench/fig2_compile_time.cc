@@ -1,0 +1,90 @@
+// Reproduces Fig. 2: compile-time density scaling for the naive vs the
+// straightforward SQL translation. 3-SAT with 5 variables, clause density
+// 1..8 (5 to 40 relations). The "planner" is the cost-based simulator of
+// src/optsearch (System-R DP below the GEQO threshold, genetic search
+// above it), standing in for PostgreSQL 7.2 (see DESIGN.md).
+
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "encode/sat.h"
+#include "optsearch/cost_model.h"
+#include "optsearch/plan_search.h"
+
+namespace ppr {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int num_vars = static_cast<int>(ParseSweepFlag(argc, argv, "vars", 5));
+  const int seeds = static_cast<int>(ParseSweepFlag(argc, argv, "seeds", 5));
+  const int repeats =
+      static_cast<int>(ParseSweepFlag(argc, argv, "repeats", 20));
+
+  Database db;
+  AddSatRelations(3, &db);
+
+  std::printf(
+      "== Fig. 2: naive vs straightforward compile time (3-SAT, %d "
+      "variables) ==\n",
+      num_vars);
+  std::printf("(median over %d random formulas; planning repeated %dx and "
+              "averaged per formula)\n",
+              seeds, repeats);
+
+  SeriesTable table("density",
+                    {"naive(s)", "straightforward(s)", "naive-plans",
+                     "sf-plans", "search"});
+  for (int density = 1; density <= 8; ++density) {
+    const int num_clauses = density * num_vars;
+    std::vector<double> naive_seconds;
+    std::vector<double> sf_seconds;
+    std::vector<double> naive_plans;
+    std::vector<double> sf_plans;
+    const char* search_kind = nullptr;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng gen_rng(static_cast<uint64_t>(seed) * 1009 + 7);
+      Cnf cnf = RandomKSat(num_vars, num_clauses, 3, gen_rng);
+      ConjunctiveQuery query = SatQuery(cnf);
+      CostModel model = CostModel::ForQuery(query, db, /*domain_size=*/2.0);
+
+      // Average the (fast) planning over `repeats` runs for stable timing.
+      WallTimer naive_timer;
+      PlanSearchResult naive;
+      for (int r = 0; r < repeats; ++r) {
+        Rng plan_rng(static_cast<uint64_t>(seed) * 31 + r);
+        naive = CostBasedPlanSearch(model, plan_rng);
+      }
+      naive_seconds.push_back(naive_timer.ElapsedSeconds() / repeats);
+      naive_plans.push_back(static_cast<double>(naive.plans_evaluated));
+      search_kind = model.num_atoms() < 12 ? "DP" : "GEQO";
+
+      WallTimer sf_timer;
+      PlanSearchResult sf;
+      for (int r = 0; r < repeats; ++r) sf = StraightforwardPlanning(model);
+      sf_seconds.push_back(sf_timer.ElapsedSeconds() / repeats);
+      sf_plans.push_back(static_cast<double>(sf.plans_evaluated));
+    }
+    table.AddRow(std::to_string(density),
+                 {FormatSeconds(Median(naive_seconds)),
+                  FormatSeconds(Median(sf_seconds)),
+                  std::to_string(static_cast<long long>(Median(naive_plans))),
+                  std::to_string(static_cast<long long>(Median(sf_plans))),
+                  search_kind});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): naive compile time is orders of magnitude\n"
+      "above straightforward and grows steeply with density; the\n"
+      "straightforward translation makes planning nearly free.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

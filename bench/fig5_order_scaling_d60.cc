@@ -1,0 +1,47 @@
+// Reproduces Fig. 5: 3-COLOR order scaling at fixed density 6.0
+// (paper orders 10-35 for density 3.0, 15-30 for density 6.0), Boolean
+// and non-Boolean panels. Defaults are laptop-scale; extend the range
+// with --max-order= and raise --budget= to match the paper's cluster run.
+
+#include <string>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double density = ParseSweepFlagDouble(argc, argv, "density", 6.0);
+  const int lo = static_cast<int>(ParseSweepFlag(argc, argv, "min-order", 12));
+  const int hi = static_cast<int>(ParseSweepFlag(argc, argv, "max-order", 24));
+  SweepOptions options;
+  options.strategies = {
+      StrategyKind::kStraightforward, StrategyKind::kEarlyProjection,
+      StrategyKind::kReordering, StrategyKind::kBucketElimination};
+  ApplyCommonFlags(argc, argv, &options);
+
+  std::vector<SweepPoint> points;
+  for (int order = lo; order <= hi; order += 2) {
+    points.push_back(SweepPoint{std::to_string(order),
+                                [order, density](Rng& rng) {
+                                  return RandomGraphWithDensity(order, density,
+                                                                rng);
+                                }});
+  }
+
+  options.free_fraction = 0.0;
+  RunColoringSweep("Fig. 5: 3-COLOR order scaling, density 6.0, Boolean",
+                   "order", points, options);
+  options.free_fraction = 0.2;
+  RunColoringSweep(
+      "Fig. 5: 3-COLOR order scaling, density 6.0, non-Boolean (20% free)",
+      "order", points, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppr
+
+int main(int argc, char** argv) { return ppr::Main(argc, argv); }

@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks for the graph substrate: the
+// elimination orders and decompositions that every planning strategy sits
+// on. Plan-construction time is the "compile time" of the structural
+// methods (negligible next to execution, as the paper notes — these
+// numbers quantify "negligible").
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+#include "graph/tree_decomposition.h"
+
+namespace ppr {
+namespace {
+
+Graph MakeGraph(int n) {
+  Rng rng(42);
+  return RandomGraph(n, 3 * n, rng);
+}
+
+void BM_McsOrder(benchmark::State& state) {
+  Graph g = MakeGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(McsEliminationOrder(g, {}, nullptr));
+  }
+}
+BENCHMARK(BM_McsOrder)->Range(16, 256);
+
+void BM_MinFillOrder(benchmark::State& state) {
+  Graph g = MakeGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinFillOrder(g, {}));
+  }
+}
+BENCHMARK(BM_MinFillOrder)->Range(16, 128);
+
+void BM_DecompositionFromOrder(benchmark::State& state) {
+  Graph g = MakeGraph(static_cast<int>(state.range(0)));
+  EliminationOrder order = McsEliminationOrder(g, {}, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecompositionFromOrder(g, order));
+  }
+}
+BENCHMARK(BM_DecompositionFromOrder)->Range(16, 256);
+
+void BM_BucketEliminationPlanning(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGraph(static_cast<int>(state.range(0)),
+                        3 * static_cast<int>(state.range(0)), rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BucketEliminationPlanMcs(q, nullptr));
+  }
+}
+BENCHMARK(BM_BucketEliminationPlanning)->Range(16, 128);
+
+void BM_GreedyReorderPlanning(benchmark::State& state) {
+  Rng rng(9);
+  Graph g = RandomGraph(static_cast<int>(state.range(0)),
+                        3 * static_cast<int>(state.range(0)), rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReorderingPlan(q, nullptr));
+  }
+}
+BENCHMARK(BM_GreedyReorderPlanning)->Range(16, 128);
+
+}  // namespace
+}  // namespace ppr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Join minimization via canonical databases (Chandra-Merlin [8], the
+// third future-work item of Section 7): evaluates queries over their own
+// canonical databases — with bucket elimination doing the heavy lifting —
+// to find and drop redundant atoms.
+//
+//   ./examples/query_minimizer [--cycle=N] [--symmetric=0|1]
+//
+// Encodes an N-cycle as a coloring query (optionally with both edge
+// orientations) and minimizes it: even symmetric cycles collapse to a
+// single edge (their graph core is K2); odd cycles are already cores.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/figures.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "minimize/minimize.h"
+
+int main(int argc, char** argv) {
+  using namespace ppr;
+
+  const int n = static_cast<int>(ParseSweepFlag(argc, argv, "cycle", 6));
+  const bool symmetric = ParseSweepFlag(argc, argv, "symmetric", 1) != 0;
+  if (n < 3) {
+    std::fprintf(stderr, "--cycle must be >= 3\n");
+    return 1;
+  }
+
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i) {
+    const int u = i;
+    const int v = (i + 1) % n;
+    atoms.push_back(Atom{"edge", {u, v}});
+    if (symmetric) atoms.push_back(Atom{"edge", {v, u}});
+  }
+  ConjunctiveQuery query(atoms, {0});
+  std::printf("input query (%d atoms):\n  %s\n\n", query.num_atoms(),
+              query.ToString().c_str());
+
+  Result<ConjunctiveQuery> core = MinimizeQuery(query);
+  if (!core.ok()) {
+    std::fprintf(stderr, "minimization failed: %s\n",
+                 core.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("core (%d atoms):\n  %s\n\n", core->num_atoms(),
+              core->ToString().c_str());
+
+  Result<bool> equivalent = AreEquivalent(query, *core);
+  std::printf("Chandra-Merlin equivalence check: %s\n",
+              equivalent.ok() && *equivalent ? "equivalent" : "NOT equivalent");
+
+  // Demonstrate on real data: both queries agree on the coloring database.
+  Database db;
+  AddColoringRelations(3, &db);
+  ExecutionResult a = ExecuteStraightforward(query, db);
+  ExecutionResult b = ExecuteStraightforward(*core, db);
+  if (a.status.ok() && b.status.ok()) {
+    std::printf("on the 3-coloring database: original %s, core %s, outputs "
+                "%s\n",
+                a.nonempty() ? "nonempty" : "empty",
+                b.nonempty() ? "nonempty" : "empty",
+                a.output.SetEquals(b.output) ? "identical" : "DIFFER (BUG!)");
+  }
+  std::printf("\nNote: with --symmetric=0 the cycle is oriented and is its "
+              "own core\n(directed cycles do not retract), so nothing is "
+              "dropped.\n");
+  return 0;
+}

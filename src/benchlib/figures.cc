@@ -1,0 +1,132 @@
+#include "benchlib/figures.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "encode/kcolor.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+void RunColoringSweep(const std::string& title, const std::string& x_label,
+                      const std::vector<SweepPoint>& points,
+                      const SweepOptions& options) {
+  Database db;
+  AddColoringRelations(3, &db);
+  std::vector<QuerySweepPoint> query_points;
+  for (const SweepPoint& point : points) {
+    const double free_fraction = options.free_fraction;
+    auto make_graph = point.make;
+    query_points.push_back(QuerySweepPoint{
+        point.x, [make_graph, free_fraction](Rng& rng) {
+          Graph g = make_graph(rng);
+          return free_fraction > 0.0
+                     ? KColorQueryNonBoolean(g, free_fraction, rng)
+                     : KColorQuery(g);
+        }});
+  }
+  RunQuerySweep(title, x_label, db, query_points, options);
+}
+
+void RunQuerySweep(const std::string& title, const std::string& x_label,
+                   const Database& db,
+                   const std::vector<QuerySweepPoint>& points,
+                   const SweepOptions& options) {
+  std::vector<std::string> series;
+  for (StrategyKind kind : options.strategies) {
+    series.push_back(StrategyName(kind));
+  }
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("(median over %d seeds, tuple budget %lld, %s)\n",
+              options.seeds, static_cast<long long>(options.budget),
+              options.free_fraction > 0.0
+                  ? ("non-Boolean, " + std::to_string(options.free_fraction) +
+                     " free")
+                        .c_str()
+                  : "Boolean");
+
+  SeriesTable time_table(x_label, series);
+  SeriesTable work_table(x_label, series);
+
+  for (const QuerySweepPoint& point : points) {
+    std::vector<std::string> time_cells;
+    std::vector<std::string> work_cells;
+    for (StrategyKind kind : options.strategies) {
+      std::vector<double> seconds;
+      std::vector<double> tuples;
+      for (int seed = 0; seed < options.seeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) * 7919 + 17);
+        ConjunctiveQuery query = point.make(rng);
+        StrategyRun run = RunStrategy(kind, query, db, options.budget,
+                                      static_cast<uint64_t>(seed));
+        if (run.timed_out) {
+          seconds.push_back(std::numeric_limits<double>::infinity());
+          tuples.push_back(std::numeric_limits<double>::infinity());
+        } else {
+          seconds.push_back(run.exec_seconds);
+          tuples.push_back(static_cast<double>(run.tuples_produced));
+        }
+      }
+      time_cells.push_back(FormatSeconds(Median(seconds)));
+      const double med_tuples = Median(tuples);
+      work_cells.push_back(std::isinf(med_tuples)
+                               ? "TIMEOUT"
+                               : std::to_string(static_cast<long long>(
+                                     med_tuples)));
+    }
+    time_table.AddRow(point.x, time_cells);
+    work_table.AddRow(point.x, work_cells);
+  }
+
+  std::printf("\n-- median execution time (seconds) --\n");
+  if (options.csv) {
+    time_table.PrintCsv();
+  } else {
+    time_table.Print();
+  }
+  std::printf("\n-- median tuples produced --\n");
+  if (options.csv) {
+    work_table.PrintCsv();
+  } else {
+    work_table.Print();
+  }
+  std::printf("\n");
+}
+
+int64_t ParseSweepFlag(int argc, char** argv, const std::string& name,
+                       int64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoll(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+double ParseSweepFlagDouble(int argc, char** argv, const std::string& name,
+                            double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+void ApplyCommonFlags(int argc, char** argv, SweepOptions* options) {
+  options->seeds =
+      static_cast<int>(ParseSweepFlag(argc, argv, "seeds", options->seeds));
+  options->budget = ParseSweepFlag(argc, argv, "budget", options->budget);
+  options->free_fraction =
+      ParseSweepFlagDouble(argc, argv, "free", options->free_fraction);
+  options->csv = ParseSweepFlag(argc, argv, "csv", options->csv ? 1 : 0) != 0;
+}
+
+}  // namespace ppr

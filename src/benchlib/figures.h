@@ -1,0 +1,73 @@
+#ifndef PPR_BENCHLIB_FIGURES_H_
+#define PPR_BENCHLIB_FIGURES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Options shared by the figure benches. Every bench accepts
+/// --seeds=N, --budget=N and --free=F on its command line (see
+/// ParseSweepFlag) so the sweeps can be scaled up toward the paper's
+/// full parameters on a bigger machine.
+struct SweepOptions {
+  /// Strategies to compare (columns of the table).
+  std::vector<StrategyKind> strategies;
+  /// Instances per x-value; the tables report medians, as the paper does.
+  int seeds = 3;
+  /// Tuple budget standing in for the paper's wall-clock timeout.
+  Counter budget = 2'000'000;
+  /// Fraction of vertices made free; 0 means Boolean queries.
+  double free_fraction = 0.0;
+  /// Emit CSV instead of aligned tables (--csv=1).
+  bool csv = false;
+};
+
+/// One x-axis point of a coloring sweep: a label (e.g. the density or the
+/// order) and an instance generator.
+struct SweepPoint {
+  std::string x;
+  std::function<Graph(Rng&)> make;
+};
+
+/// One x-axis point of a generic query sweep (used by the SAT benches):
+/// the generator builds the full conjunctive query.
+struct QuerySweepPoint {
+  std::string x;
+  std::function<ConjunctiveQuery(Rng&)> make;
+};
+
+/// Runs a 3-COLOR sweep and prints two tables: median execution seconds
+/// (TIMEOUT when the median run exceeded the budget) and median tuples
+/// produced, one column per strategy. This is the engine behind the
+/// reproductions of Figs. 3-9.
+void RunColoringSweep(const std::string& title, const std::string& x_label,
+                      const std::vector<SweepPoint>& points,
+                      const SweepOptions& options);
+
+/// Generic variant of RunColoringSweep over an arbitrary database and
+/// query generator (the SAT sweeps of Section 7 use this).
+void RunQuerySweep(const std::string& title, const std::string& x_label,
+                   const Database& db,
+                   const std::vector<QuerySweepPoint>& points,
+                   const SweepOptions& options);
+
+/// Parses "--name=value" from argv; returns fallback when absent.
+int64_t ParseSweepFlag(int argc, char** argv, const std::string& name,
+                       int64_t fallback);
+double ParseSweepFlagDouble(int argc, char** argv, const std::string& name,
+                            double fallback);
+
+/// Applies the common command-line overrides to `options`.
+void ApplyCommonFlags(int argc, char** argv, SweepOptions* options);
+
+}  // namespace ppr
+
+#endif  // PPR_BENCHLIB_FIGURES_H_

@@ -1,0 +1,40 @@
+#ifndef PPR_COMMON_CHECK_H_
+#define PPR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppr {
+namespace internal_check {
+
+/// Prints a fatal-check failure message and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PPR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace ppr
+
+/// Aborts the process when `cond` is false. Used for programmer-error
+/// invariants that must hold in all build modes (the library is a research
+/// artifact; silent corruption would invalidate experiments).
+#define PPR_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::ppr::internal_check::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                \
+  } while (0)
+
+/// PPR_DCHECK compiles to PPR_CHECK in debug builds and to nothing in
+/// release builds. Use on hot paths only.
+#ifndef NDEBUG
+#define PPR_DCHECK(cond) PPR_CHECK(cond)
+#else
+#define PPR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // PPR_COMMON_CHECK_H_

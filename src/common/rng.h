@@ -1,0 +1,55 @@
+#ifndef PPR_COMMON_RNG_H_
+#define PPR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppr {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// All randomized pieces of the library (instance generators, tie-breaking
+/// in the greedy reordering heuristic, the genetic plan search) draw from an
+/// explicitly passed Rng so that every experiment is reproducible from its
+/// seed. Not cryptographically secure; plenty for workload generation.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams
+  /// (state expanded with SplitMix64 as recommended by the xoshiro authors).
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  /// Uses rejection sampling, so the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform int in the inclusive range [lo, hi].
+  int NextInt(int lo, int hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(T& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_RNG_H_

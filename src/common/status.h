@@ -1,0 +1,106 @@
+#ifndef PPR_COMMON_STATUS_H_
+#define PPR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace ppr {
+
+/// Error category for fallible operations. The library never throws across
+/// its public API; operations that can fail on valid-but-unsatisfiable
+/// inputs return Status / Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied a malformed query/graph/order
+  kNotFound,          // a named relation/attribute does not exist
+  kResourceExhausted, // execution exceeded its tuple/step budget (timeout)
+  kInternal,          // invariant violation surfaced as an error
+};
+
+/// Lightweight status object: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error status. Minimal StatusOr-alike: enough for a
+/// research library without pulling in absl.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_value;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error: `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    PPR_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status (OK if the result holds a value).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; PPR_CHECK-fail when the result holds an error.
+  const T& value() const& {
+    PPR_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    PPR_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    PPR_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef PPR_COMMON_STRINGS_H_
+#define PPR_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ppr {
+
+/// Joins the elements of `range` with `sep`, using operator<< to render
+/// each element. Example: StrJoin(std::vector<int>{1,2,3}, ", ") == "1, 2, 3".
+template <typename Range>
+std::string StrJoin(const Range& range, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Like StrJoin but renders each element through `fmt(element)`.
+template <typename Range, typename Fmt>
+std::string StrJoinFormatted(const Range& range, std::string_view sep,
+                             Fmt&& fmt) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) out << sep;
+    out << fmt(item);
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_STRINGS_H_

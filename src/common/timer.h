@@ -1,0 +1,31 @@
+#ifndef PPR_COMMON_TIMER_H_
+#define PPR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ppr {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_TIMER_H_

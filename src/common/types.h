@@ -1,0 +1,29 @@
+#ifndef PPR_COMMON_TYPES_H_
+#define PPR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ppr {
+
+/// Identifier of a query attribute (a.k.a. variable / vertex). The paper
+/// uses "variable" and "attribute" interchangeably; so do we. Attribute ids
+/// are small dense integers assigned by the query builder.
+using AttrId = int32_t;
+
+/// Sentinel for "no attribute".
+inline constexpr AttrId kNoAttr = -1;
+
+/// A database value. All experiments in the paper use tiny domains
+/// (colors {1,2,3}, Boolean {0,1}), so a 32-bit integer domain loses
+/// nothing while keeping tuples cache-friendly.
+using Value = int32_t;
+
+/// Monotonic counters used by execution statistics.
+using Counter = int64_t;
+
+inline constexpr Counter kCounterMax = std::numeric_limits<Counter>::max();
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_TYPES_H_

@@ -1,0 +1,227 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+void CollectBags(const PlanNode* node, TreeDecomposition* td, int parent) {
+  const int my_index = td->num_bags();
+  std::vector<int> bag(node->working.begin(), node->working.end());
+  td->bags.push_back(std::move(bag));
+  if (parent >= 0) td->edges.emplace_back(parent, my_index);
+  for (const auto& child : node->children) {
+    CollectBags(child.get(), td, my_index);
+  }
+}
+
+// Unweighted tree path between bags `from` and `to` (inclusive), found by
+// BFS over the decomposition's edges.
+std::vector<int> TreePath(const TreeDecomposition& td, int from, int to) {
+  const int b = td.num_bags();
+  std::vector<int> parent(static_cast<size_t>(b), -2);
+  std::vector<int> queue = {from};
+  parent[static_cast<size_t>(from)] = -1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int x = queue[head];
+    if (x == to) break;
+    for (int y : td.AdjacentBags(x)) {
+      if (parent[static_cast<size_t>(y)] == -2) {
+        parent[static_cast<size_t>(y)] = x;
+        queue.push_back(y);
+      }
+    }
+  }
+  PPR_CHECK(parent[static_cast<size_t>(to)] != -2);
+  std::vector<int> path;
+  for (int x = to; x != -1; x = parent[static_cast<size_t>(x)]) {
+    path.push_back(x);
+  }
+  return path;
+}
+
+std::vector<AttrId> SortedTarget(const ConjunctiveQuery& query) {
+  std::vector<AttrId> target = query.free_vars();
+  std::sort(target.begin(), target.end());
+  return target;
+}
+
+}  // namespace
+
+TreeDecomposition PlanToTreeDecomposition(const ConjunctiveQuery& query,
+                                          const Plan& plan) {
+  (void)query;  // the conversion itself only needs the labels
+  PPR_CHECK(!plan.empty());
+  TreeDecomposition td;
+  CollectBags(plan.root(), &td, -1);
+  return td;
+}
+
+SimplifiedDecomposition MarkAndSweep(const ConjunctiveQuery& query,
+                                     const TreeDecomposition& td) {
+  const int b = td.num_bags();
+  PPR_CHECK(b > 0);
+
+  // marked[i] = set of attributes marked in bag i.
+  std::vector<std::vector<AttrId>> marked(static_cast<size_t>(b));
+  auto mark = [&](int bag, AttrId a) {
+    auto& mk = marked[static_cast<size_t>(bag)];
+    if (std::find(mk.begin(), mk.end(), a) == mk.end()) mk.push_back(a);
+  };
+
+  // Step 1: assign every atom, and the target schema R_T, to a covering
+  // bag and mark its attributes there.
+  std::vector<int> atom_bag(static_cast<size_t>(query.num_atoms()), -1);
+  for (int ai = 0; ai < query.num_atoms(); ++ai) {
+    std::vector<AttrId> attrs =
+        query.atoms()[static_cast<size_t>(ai)].DistinctAttrs();
+    std::sort(attrs.begin(), attrs.end());
+    const int bag = td.FindCoveringBag(std::vector<int>(attrs.begin(),
+                                                        attrs.end()));
+    PPR_CHECK(bag >= 0);  // atoms are cliques of the join graph
+    atom_bag[static_cast<size_t>(ai)] = bag;
+    for (AttrId a : attrs) mark(bag, a);
+  }
+  const std::vector<AttrId> target = SortedTarget(query);
+  const int root_bag =
+      target.empty()
+          ? atom_bag.front()
+          : td.FindCoveringBag(std::vector<int>(target.begin(), target.end()));
+  PPR_CHECK(root_bag >= 0);  // the target schema is a clique of G_Q
+  for (AttrId a : target) mark(root_bag, a);
+
+  // Step 2: connector marking. For every attribute, mark it along the tree
+  // path between every pair of bags where it is already marked (this is
+  // the paper's "for every pair of nodes i, j ... mark the subset of X_k"
+  // loop, restricted to attributes, which is equivalent).
+  std::map<AttrId, std::vector<int>> initially_marked_at;
+  for (int i = 0; i < b; ++i) {
+    for (AttrId a : marked[static_cast<size_t>(i)]) {
+      initially_marked_at[a].push_back(i);
+    }
+  }
+  for (const auto& [a, bags] : initially_marked_at) {
+    for (size_t i = 0; i < bags.size(); ++i) {
+      for (size_t j = i + 1; j < bags.size(); ++j) {
+        for (int k : TreePath(td, bags[i], bags[j])) mark(k, a);
+      }
+    }
+  }
+
+  // Step 3: sweep. Keep only marked labels; drop emptied bags, splicing
+  // their neighbors together (an emptied bag lies on no marked path, so
+  // any reconnection preserves the decomposition properties).
+  std::vector<int> new_index(static_cast<size_t>(b), -1);
+  SimplifiedDecomposition out;
+  for (int i = 0; i < b; ++i) {
+    auto& mk = marked[static_cast<size_t>(i)];
+    if (mk.empty()) continue;
+    std::sort(mk.begin(), mk.end());
+    new_index[static_cast<size_t>(i)] = out.td.num_bags();
+    out.td.bags.push_back(std::vector<int>(mk.begin(), mk.end()));
+  }
+  PPR_CHECK(!out.td.bags.empty());
+
+  // Rebuild tree edges: contract deleted bags by walking the original tree
+  // from an arbitrary kept root and attaching each kept bag to the nearest
+  // kept ancestor.
+  int start = 0;
+  while (new_index[static_cast<size_t>(start)] < 0) ++start;
+  std::vector<int> stack = {start};
+  std::vector<uint8_t> visited(static_cast<size_t>(b), 0);
+  visited[static_cast<size_t>(start)] = 1;
+  // nearest_kept[i] = nearest kept bag on the path from `start` to i
+  // (inclusive of i itself).
+  std::vector<int> nearest_kept(static_cast<size_t>(b), -1);
+  nearest_kept[static_cast<size_t>(start)] = start;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (int y : td.AdjacentBags(x)) {
+      if (visited[static_cast<size_t>(y)]) continue;
+      visited[static_cast<size_t>(y)] = 1;
+      const bool kept = new_index[static_cast<size_t>(y)] >= 0;
+      if (kept) {
+        const int up = nearest_kept[static_cast<size_t>(x)];
+        out.td.edges.emplace_back(new_index[static_cast<size_t>(up)],
+                                  new_index[static_cast<size_t>(y)]);
+        nearest_kept[static_cast<size_t>(y)] = y;
+      } else {
+        nearest_kept[static_cast<size_t>(y)] =
+            nearest_kept[static_cast<size_t>(x)];
+      }
+      stack.push_back(y);
+    }
+  }
+
+  out.atom_bag.resize(static_cast<size_t>(query.num_atoms()));
+  for (int ai = 0; ai < query.num_atoms(); ++ai) {
+    out.atom_bag[static_cast<size_t>(ai)] =
+        new_index[static_cast<size_t>(atom_bag[static_cast<size_t>(ai)])];
+    PPR_CHECK(out.atom_bag[static_cast<size_t>(ai)] >= 0);
+  }
+  out.root_bag = new_index[static_cast<size_t>(root_bag)];
+  PPR_CHECK(out.root_bag >= 0);
+  return out;
+}
+
+namespace {
+
+// Recursively builds the plan node for simplified-decomposition bag `bag`,
+// whose children are its unvisited neighbor bags plus its atom leaves.
+std::unique_ptr<PlanNode> BuildNode(
+    const ConjunctiveQuery& query, const SimplifiedDecomposition& sd,
+    const std::vector<std::vector<int>>& atoms_of_bag, int bag, int parent) {
+  std::vector<std::unique_ptr<PlanNode>> children;
+  for (int ai : atoms_of_bag[static_cast<size_t>(bag)]) {
+    children.push_back(MakeLeaf(query, ai));
+  }
+  for (int nb : sd.td.AdjacentBags(bag)) {
+    if (nb == parent) continue;
+    children.push_back(BuildNode(query, sd, atoms_of_bag, nb, bag));
+  }
+  PPR_CHECK(!children.empty());  // leaves of the simplified tree hold atoms
+
+  // Projected label: keep what the parent bag still needs (L_p(i) =
+  // L_w(i) ∩ X_parent); the root keeps the target schema.
+  std::vector<AttrId> working;
+  for (const auto& c : children) {
+    working.insert(working.end(), c->projected.begin(), c->projected.end());
+  }
+  std::sort(working.begin(), working.end());
+  working.erase(std::unique(working.begin(), working.end()), working.end());
+
+  std::vector<AttrId> projected;
+  if (parent < 0) {
+    projected = SortedTarget(query);
+  } else {
+    const std::vector<int>& parent_bag =
+        sd.td.bags[static_cast<size_t>(parent)];
+    for (AttrId a : working) {
+      if (std::binary_search(parent_bag.begin(), parent_bag.end(), a)) {
+        projected.push_back(a);
+      }
+    }
+  }
+  return MakeJoin(std::move(children), std::move(projected));
+}
+
+}  // namespace
+
+Plan PlanFromTreeDecomposition(const ConjunctiveQuery& query,
+                               const TreeDecomposition& td) {
+  PPR_CHECK(query.num_atoms() > 0);
+  const SimplifiedDecomposition sd = MarkAndSweep(query, td);
+  std::vector<std::vector<int>> atoms_of_bag(
+      static_cast<size_t>(sd.td.num_bags()));
+  for (int ai = 0; ai < query.num_atoms(); ++ai) {
+    atoms_of_bag[static_cast<size_t>(sd.atom_bag[static_cast<size_t>(ai)])]
+        .push_back(ai);
+  }
+  return Plan(BuildNode(query, sd, atoms_of_bag, sd.root_bag, -1));
+}
+
+}  // namespace ppr

@@ -1,0 +1,49 @@
+#ifndef PPR_CORE_THEORY_H_
+#define PPR_CORE_THEORY_H_
+
+#include <vector>
+
+#include "core/plan.h"
+#include "graph/tree_decomposition.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// Algorithm 1 (Join-Expression-Tree-to-Tree-Decomposition): drops the
+/// projected labels of `plan` and uses the working labels as bags; the
+/// plan's parent/child edges become the decomposition tree. For a valid
+/// plan of width k this is a valid tree decomposition of BuildJoinGraph
+/// (query) of width k - 1 (Lemma 1, one direction of Theorem 1).
+TreeDecomposition PlanToTreeDecomposition(const ConjunctiveQuery& query,
+                                          const Plan& plan);
+
+/// Result of Algorithm 2: a simplified decomposition plus the atom-to-bag
+/// assignment r.
+struct SimplifiedDecomposition {
+  TreeDecomposition td;
+  /// atom_bag[i] = bag index (in td) covering atom i's attributes.
+  std::vector<int> atom_bag;
+  /// Bag covering the target schema (the paper's r[R_T]).
+  int root_bag = 0;
+};
+
+/// Algorithm 2 (Mark-and-Sweep): given any tree decomposition of the join
+/// graph, assigns every atom (and the target schema) to a covering bag,
+/// keeps only attributes needed as atom coverage or as connectors between
+/// marked occurrences, and deletes emptied bags. Width never increases
+/// (Lemma 2). PPR_CHECK-fails if `td` is not a decomposition of the join
+/// graph (no covering bag for some atom).
+SimplifiedDecomposition MarkAndSweep(const ConjunctiveQuery& query,
+                                     const TreeDecomposition& td);
+
+/// Algorithm 3 (Tree-Decomposition-to-Join-Expression-Tree): converts a
+/// tree decomposition of the join graph into an executable plan, rooted at
+/// the bag covering the target schema, with one leaf per atom hanging off
+/// its covering bag. For a decomposition of width k the resulting plan has
+/// join width <= k + 1 (Lemma 3, the other direction of Theorem 1).
+Plan PlanFromTreeDecomposition(const ConjunctiveQuery& query,
+                               const TreeDecomposition& td);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_THEORY_H_

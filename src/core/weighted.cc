@@ -1,0 +1,139 @@
+#include "core/weighted.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppr {
+
+AttrWeights::AttrWeights(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) PPR_CHECK(w > 0.0);
+}
+
+AttrWeights AttrWeights::Uniform(int n, double w) {
+  PPR_CHECK(n >= 0);
+  return AttrWeights(std::vector<double>(static_cast<size_t>(n), w));
+}
+
+double AttrWeights::Of(AttrId a) const {
+  PPR_CHECK(a >= 0);
+  if (static_cast<size_t>(a) >= weights_.size()) return 1.0;
+  return weights_[static_cast<size_t>(a)];
+}
+
+double AttrWeights::Sum(const std::vector<AttrId>& attrs) const {
+  double total = 0.0;
+  for (AttrId a : attrs) total += Of(a);
+  return total;
+}
+
+namespace {
+
+double NodeWeightMax(const PlanNode* node, const AttrWeights& weights) {
+  double best = weights.Sum(node->working);
+  for (const auto& child : node->children) {
+    best = std::max(best, NodeWeightMax(child.get(), weights));
+  }
+  return best;
+}
+
+}  // namespace
+
+double WeightedPlanWidth(const Plan& plan, const AttrWeights& weights) {
+  if (plan.empty()) return 0.0;
+  return NodeWeightMax(plan.root(), weights);
+}
+
+double WeightedInducedWidth(const Graph& g, const AttrWeights& weights,
+                            const EliminationOrder& order) {
+  const int n = g.num_vertices();
+  PPR_CHECK(static_cast<int>(order.size()) == n);
+  std::vector<uint8_t> adj(static_cast<size_t>(n) * n, 0);
+  for (const auto& [u, v] : g.Edges()) {
+    adj[static_cast<size_t>(u) * n + v] = 1;
+    adj[static_cast<size_t>(v) * n + u] = 1;
+  }
+  std::vector<uint8_t> eliminated(static_cast<size_t>(n), 0);
+  double width = 0.0;
+  for (int v : order) {
+    std::vector<int> nbrs;
+    for (int u = 0; u < n; ++u) {
+      if (!eliminated[static_cast<size_t>(u)] && u != v &&
+          adj[static_cast<size_t>(v) * n + u]) {
+        nbrs.push_back(u);
+      }
+    }
+    double step = weights.Of(v);
+    for (int u : nbrs) step += weights.Of(u);
+    width = std::max(width, step);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[static_cast<size_t>(nbrs[i]) * n + nbrs[j]] = 1;
+        adj[static_cast<size_t>(nbrs[j]) * n + nbrs[i]] = 1;
+      }
+    }
+    eliminated[static_cast<size_t>(v)] = 1;
+  }
+  return width;
+}
+
+EliminationOrder WeightedMinDegreeOrder(const Graph& g,
+                                        const AttrWeights& weights,
+                                        const std::vector<int>& keep_last) {
+  const int n = g.num_vertices();
+  std::vector<uint8_t> adj(static_cast<size_t>(n) * n, 0);
+  for (const auto& [u, v] : g.Edges()) {
+    adj[static_cast<size_t>(u) * n + v] = 1;
+    adj[static_cast<size_t>(v) * n + u] = 1;
+  }
+  std::vector<uint8_t> eliminated(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> deferred(static_cast<size_t>(n), 0);
+  for (int v : keep_last) {
+    PPR_CHECK(v >= 0 && v < n);
+    deferred[static_cast<size_t>(v)] = 1;
+  }
+
+  EliminationOrder order;
+  order.reserve(static_cast<size_t>(n));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (;;) {
+      int best = -1;
+      double best_score = 0.0;
+      for (int v = 0; v < n; ++v) {
+        if (eliminated[static_cast<size_t>(v)]) continue;
+        if ((pass == 0) == (deferred[static_cast<size_t>(v)] != 0)) continue;
+        double score = 0.0;
+        for (int u = 0; u < n; ++u) {
+          if (!eliminated[static_cast<size_t>(u)] &&
+              adj[static_cast<size_t>(v) * n + u]) {
+            score += weights.Of(u);
+          }
+        }
+        if (best < 0 || score < best_score) {
+          best = v;
+          best_score = score;
+        }
+      }
+      if (best < 0) break;
+      std::vector<int> nbrs;
+      for (int u = 0; u < n; ++u) {
+        if (!eliminated[static_cast<size_t>(u)] &&
+            adj[static_cast<size_t>(best) * n + u]) {
+          nbrs.push_back(u);
+        }
+      }
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          adj[static_cast<size_t>(nbrs[i]) * n + nbrs[j]] = 1;
+          adj[static_cast<size_t>(nbrs[j]) * n + nbrs[i]] = 1;
+        }
+      }
+      eliminated[static_cast<size_t>(best)] = 1;
+      order.push_back(best);
+    }
+  }
+  return order;
+}
+
+}  // namespace ppr

@@ -1,0 +1,60 @@
+#ifndef PPR_CORE_WEIGHTED_H_
+#define PPR_CORE_WEIGHTED_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/plan.h"
+#include "graph/elimination.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Per-attribute weights — Section 7's "queries with weighted attributes,
+/// reflecting the fact that different attributes may have different widths
+/// in bytes". An attribute's weight models its byte width (or the log of
+/// its domain size); unlisted attributes weigh 1.
+class AttrWeights {
+ public:
+  AttrWeights() = default;
+
+  /// weights[a] is attribute a's weight; must be positive.
+  explicit AttrWeights(std::vector<double> weights);
+
+  /// Uniform weight w for attributes 0..n-1.
+  static AttrWeights Uniform(int n, double w);
+
+  /// Weight of attribute `a` (1.0 when beyond the stored range).
+  double Of(AttrId a) const;
+
+  /// Total weight of an attribute set.
+  double Sum(const std::vector<AttrId>& attrs) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Weighted join width of a plan: the maximum over nodes of the total
+/// weight of the working label. With unit weights this is exactly
+/// Plan::Width(). A proxy for the byte width of the widest intermediate
+/// tuple the executor materializes.
+double WeightedPlanWidth(const Plan& plan, const AttrWeights& weights);
+
+/// Weighted induced width of an elimination order: plays the elimination
+/// game, scoring each step by weight(v) + weight(un-eliminated neighbors)
+/// and reporting the maximum — the weighted analog of InducedWidth (the
+/// unweighted value plus one, in weight units).
+double WeightedInducedWidth(const Graph& g, const AttrWeights& weights,
+                            const EliminationOrder& order);
+
+/// Greedy elimination order for weighted attributes: each step eliminates
+/// the vertex minimizing the total weight of its current neighborhood,
+/// deferring `keep_last` vertices to the end. With unit weights this is
+/// MinDegreeOrder.
+EliminationOrder WeightedMinDegreeOrder(const Graph& g,
+                                        const AttrWeights& weights,
+                                        const std::vector<int>& keep_last);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_WEIGHTED_H_

@@ -1,0 +1,257 @@
+#include "csp/csp.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "encode/kcolor.h"
+#include "relational/exec_context.h"
+#include "relational/ops.h"
+
+namespace ppr {
+
+bool Constraint::Satisfied(const std::vector<Value>& assignment) const {
+  std::vector<Value> tuple;
+  tuple.reserve(scope.size());
+  for (int v : scope) tuple.push_back(assignment[static_cast<size_t>(v)]);
+  return allowed.ContainsTuple(tuple);
+}
+
+Status Csp::Validate() const {
+  for (const Constraint& c : constraints) {
+    if (c.scope.empty()) {
+      return Status::InvalidArgument("empty constraint scope");
+    }
+    if (static_cast<int>(c.scope.size()) != c.allowed.arity()) {
+      return Status::InvalidArgument("scope size != relation arity");
+    }
+    for (size_t i = 0; i < c.scope.size(); ++i) {
+      if (c.scope[i] < 0 || c.scope[i] >= num_vars()) {
+        return Status::InvalidArgument("scope variable out of range");
+      }
+      for (size_t j = i + 1; j < c.scope.size(); ++j) {
+        if (c.scope[i] == c.scope[j]) {
+          return Status::InvalidArgument("repeated variable in scope");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Csp::IsSolution(const std::vector<Value>& assignment) const {
+  PPR_CHECK(static_cast<int>(assignment.size()) == num_vars());
+  for (int v = 0; v < num_vars(); ++v) {
+    const auto& domain = domains[static_cast<size_t>(v)];
+    if (std::find(domain.begin(), domain.end(),
+                  assignment[static_cast<size_t>(v)]) == domain.end()) {
+      return false;
+    }
+  }
+  return std::all_of(
+      constraints.begin(), constraints.end(),
+      [&](const Constraint& c) { return c.Satisfied(assignment); });
+}
+
+Csp ColoringCsp(const Graph& g, int num_colors) {
+  Csp csp;
+  std::vector<Value> palette;
+  for (Value c = 1; c <= num_colors; ++c) palette.push_back(c);
+  csp.domains.assign(static_cast<size_t>(g.num_vertices()), palette);
+  const Relation edge = ColoringEdgeRelation(num_colors);
+  for (const auto& [u, v] : g.EdgesInInsertionOrder()) {
+    Relation allowed{Schema({u, v})};
+    for (int64_t i = 0; i < edge.size(); ++i) allowed.AddTuple(edge.row(i));
+    csp.constraints.push_back(Constraint{{u, v}, std::move(allowed)});
+  }
+  return csp;
+}
+
+Csp CnfCsp(const Cnf& cnf) {
+  Csp csp;
+  csp.domains.assign(static_cast<size_t>(cnf.num_vars), {0, 1});
+  for (const auto& clause : cnf.clauses) {
+    std::vector<int> scope;
+    std::vector<AttrId> attrs;
+    for (const Literal& lit : clause) {
+      scope.push_back(lit.var);
+      attrs.push_back(lit.var);
+    }
+    Relation allowed{Schema(attrs)};
+    const unsigned rows = 1u << clause.size();
+    for (unsigned row = 0; row < rows; ++row) {
+      bool satisfies = false;
+      for (size_t i = 0; i < clause.size(); ++i) {
+        const bool value = ((row >> i) & 1u) != 0;
+        if (value != clause[i].negated) {
+          satisfies = true;
+          break;
+        }
+      }
+      if (!satisfies) continue;
+      std::vector<Value> tuple(clause.size());
+      for (size_t i = 0; i < clause.size(); ++i) {
+        tuple[i] = static_cast<Value>((row >> i) & 1u);
+      }
+      allowed.AddTuple(tuple);
+    }
+    csp.constraints.push_back(Constraint{std::move(scope),
+                                         std::move(allowed)});
+  }
+  return csp;
+}
+
+CspAsQuery CspToQuery(const Csp& csp) {
+  PPR_CHECK(csp.Validate().ok());
+  CspAsQuery out;
+  for (size_t i = 0; i < csp.constraints.size(); ++i) {
+    const Constraint& c = csp.constraints[i];
+    const std::string name = "c" + std::to_string(i);
+    // Store the relation with positional column ids; the atom binds the
+    // scope variables.
+    std::vector<AttrId> cols(c.scope.size());
+    for (size_t p = 0; p < cols.size(); ++p) {
+      cols[p] = static_cast<AttrId>(p);
+    }
+    Relation stored{Schema(cols)};
+    for (int64_t r = 0; r < c.allowed.size(); ++r) {
+      stored.AddTuple(c.allowed.row(r));
+    }
+    out.db.Put(name, std::move(stored));
+    Atom atom;
+    atom.relation = name;
+    atom.args.assign(c.scope.begin(), c.scope.end());
+    out.query.AddAtom(std::move(atom));
+  }
+  // Boolean emulation as in the paper: select the first constrained var.
+  PPR_CHECK(!out.query.atoms().empty());
+  out.query.SetFreeVars({out.query.atoms().front().args.front()});
+  return out;
+}
+
+Result<Csp> QueryToCsp(const ConjunctiveQuery& query, const Database& db) {
+  Status valid = query.Validate(db);
+  if (!valid.ok()) return valid;
+
+  AttrId max_attr = -1;
+  for (const Atom& atom : query.atoms()) {
+    for (AttrId a : atom.args) max_attr = std::max(max_attr, a);
+  }
+  Csp csp;
+  csp.domains.assign(static_cast<size_t>(max_attr + 1), {});
+
+  ExecContext ctx;
+  for (const Atom& atom : query.atoms()) {
+    const Relation* stored = *db.Get(atom.relation);
+    Relation bound = BindAtom(*stored, atom.args, ctx);
+    Constraint c;
+    c.scope.assign(bound.schema().attrs().begin(),
+                   bound.schema().attrs().end());
+    // Extend each scope variable's domain with the values this column
+    // can take.
+    for (int col = 0; col < bound.arity(); ++col) {
+      auto& domain = csp.domains[static_cast<size_t>(bound.schema().attr(col))];
+      for (int64_t r = 0; r < bound.size(); ++r) {
+        if (std::find(domain.begin(), domain.end(), bound.at(r, col)) ==
+            domain.end()) {
+          domain.push_back(bound.at(r, col));
+        }
+      }
+    }
+    c.allowed = std::move(bound);
+    csp.constraints.push_back(std::move(c));
+  }
+  // Unconstrained variables (possible only via gaps in the attr ids) get
+  // a singleton dummy domain so assignments stay well-formed.
+  for (auto& domain : csp.domains) {
+    if (domain.empty()) domain.push_back(0);
+  }
+  return csp;
+}
+
+namespace {
+
+// Forward-checking state: remaining candidate values per variable.
+struct SearchState {
+  std::vector<std::vector<Value>> candidates;
+  std::vector<int> assigned;  // -1 = unassigned, else index into candidates
+};
+
+// True when `assignment` (partial, -1 entries unassigned) can still
+// satisfy constraint `c` — i.e. some allowed tuple matches all assigned
+// scope positions.
+bool ConstraintViable(const Constraint& c, const std::vector<Value>& value_of,
+                      const std::vector<uint8_t>& is_assigned) {
+  for (int64_t r = 0; r < c.allowed.size(); ++r) {
+    bool matches = true;
+    for (size_t p = 0; p < c.scope.size(); ++p) {
+      const size_t v = static_cast<size_t>(c.scope[p]);
+      if (is_assigned[v] &&
+          value_of[v] != c.allowed.at(r, static_cast<int>(p))) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) return true;
+  }
+  return false;
+}
+
+bool Backtrack(const Csp& csp, std::vector<Value>& value_of,
+               std::vector<uint8_t>& is_assigned, int unassigned_left) {
+  if (unassigned_left == 0) return true;
+
+  // Minimum-remaining-values: the unassigned variable with the fewest
+  // viable values (each checked by constraint viability).
+  int best_var = -1;
+  std::vector<Value> best_values;
+  for (int v = 0; v < csp.num_vars(); ++v) {
+    if (is_assigned[static_cast<size_t>(v)]) continue;
+    std::vector<Value> viable;
+    for (Value value : csp.domains[static_cast<size_t>(v)]) {
+      value_of[static_cast<size_t>(v)] = value;
+      is_assigned[static_cast<size_t>(v)] = 1;
+      bool ok = true;
+      for (const Constraint& c : csp.constraints) {
+        if (std::find(c.scope.begin(), c.scope.end(), v) == c.scope.end()) {
+          continue;
+        }
+        if (!ConstraintViable(c, value_of, is_assigned)) {
+          ok = false;
+          break;
+        }
+      }
+      is_assigned[static_cast<size_t>(v)] = 0;
+      if (ok) viable.push_back(value);
+    }
+    if (best_var < 0 || viable.size() < best_values.size()) {
+      best_var = v;
+      best_values = std::move(viable);
+      if (best_values.empty()) return false;  // dead end
+    }
+  }
+
+  for (Value value : best_values) {
+    value_of[static_cast<size_t>(best_var)] = value;
+    is_assigned[static_cast<size_t>(best_var)] = 1;
+    if (Backtrack(csp, value_of, is_assigned, unassigned_left - 1)) {
+      return true;
+    }
+    is_assigned[static_cast<size_t>(best_var)] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Value>> SolveCsp(const Csp& csp) {
+  PPR_CHECK(csp.Validate().ok());
+  std::vector<Value> value_of(static_cast<size_t>(csp.num_vars()), 0);
+  std::vector<uint8_t> is_assigned(static_cast<size_t>(csp.num_vars()), 0);
+  if (!Backtrack(csp, value_of, is_assigned, csp.num_vars())) {
+    return std::nullopt;
+  }
+  return value_of;
+}
+
+}  // namespace ppr

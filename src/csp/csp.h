@@ -1,0 +1,82 @@
+#ifndef PPR_CSP_CSP_H_
+#define PPR_CSP_CSP_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "encode/sat.h"
+#include "graph/graph.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// One extensional constraint: the variables in `scope` must jointly take
+/// a value combination listed in `allowed` (whose schema's attributes are
+/// exactly the scope variables, in order).
+struct Constraint {
+  std::vector<int> scope;
+  Relation allowed;
+
+  /// True when the (complete) assignment satisfies this constraint.
+  bool Satisfied(const std::vector<Value>& assignment) const;
+};
+
+/// A finite-domain constraint-satisfaction problem. The paper's starting
+/// point is that "evaluating Boolean project-join queries is essentially
+/// the same as solving constraint-satisfaction problems" (Kolaitis &
+/// Vardi [26]); this type and the converters below make the
+/// correspondence executable in both directions.
+struct Csp {
+  /// domains[v] lists the allowed values of variable v.
+  std::vector<std::vector<Value>> domains;
+  std::vector<Constraint> constraints;
+
+  int num_vars() const { return static_cast<int>(domains.size()); }
+
+  /// Structural sanity: scopes in range, distinct scope variables,
+  /// constraint arities match their relations.
+  Status Validate() const;
+
+  /// True when the complete `assignment` satisfies every constraint.
+  bool IsSolution(const std::vector<Value>& assignment) const;
+};
+
+/// k-coloring as a CSP: one variable per vertex with domain {1..k}, one
+/// difference constraint per edge. Mirrors KColorQuery.
+Csp ColoringCsp(const Graph& g, int num_colors);
+
+/// CNF satisfiability as a CSP: Boolean domains, one constraint per
+/// clause allowing its 2^k - 1 satisfying assignments. Mirrors SatQuery.
+Csp CnfCsp(const Cnf& cnf);
+
+/// A CSP rendered as a Boolean project-join query over a fresh database:
+/// each constraint becomes a stored relation ("c0", "c1", ...) and one
+/// atom over its scope. The query is nonempty iff the CSP is solvable —
+/// the Kolaitis-Vardi direction the paper exploits to turn coloring
+/// instances into queries.
+struct CspAsQuery {
+  ConjunctiveQuery query;
+  Database db;
+};
+CspAsQuery CspToQuery(const Csp& csp);
+
+/// The other direction: a (Boolean reading of a) conjunctive query over a
+/// database becomes a CSP whose variables are the query's attributes and
+/// whose constraints are the atoms' bound relations. Variable domains are
+/// the values seen in the corresponding columns. Fails when the query
+/// does not validate against the database.
+Result<Csp> QueryToCsp(const ConjunctiveQuery& query, const Database& db);
+
+/// Backtracking CSP solver with minimum-remaining-values ordering and
+/// forward checking — an independent decision procedure used to
+/// cross-validate the query engine. Returns a satisfying assignment, or
+/// nullopt when unsatisfiable.
+std::optional<std::vector<Value>> SolveCsp(const Csp& csp);
+
+}  // namespace ppr
+
+#endif  // PPR_CSP_CSP_H_

@@ -1,0 +1,83 @@
+#include "encode/kcolor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppr {
+
+Relation ColoringEdgeRelation(int num_colors) {
+  PPR_CHECK(num_colors >= 1);
+  // Column attribute ids are placeholders; BindAtom rebinds them per atom.
+  Relation rel{Schema({0, 1})};
+  for (Value c1 = 1; c1 <= num_colors; ++c1) {
+    for (Value c2 = 1; c2 <= num_colors; ++c2) {
+      if (c1 != c2) rel.AddTuple({c1, c2});
+    }
+  }
+  return rel;
+}
+
+void AddColoringRelations(int num_colors, Database* db) {
+  db->Put(kEdgeRelationName, ColoringEdgeRelation(num_colors));
+}
+
+namespace {
+
+std::vector<Atom> EdgeAtoms(const Graph& g) {
+  std::vector<Atom> atoms;
+  atoms.reserve(static_cast<size_t>(g.num_edges()));
+  // Atoms in insertion order: generation order for random instances,
+  // natural construction order for structured ones (Section 2/6.1 — the
+  // straightforward method evaluates in the listed order).
+  for (const auto& [u, v] : g.EdgesInInsertionOrder()) {
+    atoms.push_back(Atom{kEdgeRelationName, {u, v}});
+  }
+  return atoms;
+}
+
+}  // namespace
+
+ConjunctiveQuery KColorQuery(const Graph& g) {
+  std::vector<Atom> atoms = EdgeAtoms(g);
+  PPR_CHECK(!atoms.empty());
+  // Boolean emulation as in the paper's SQL: select the first vertex that
+  // occurs in an edge.
+  const AttrId first_vertex = atoms.front().args.front();
+  return ConjunctiveQuery(std::move(atoms), {first_vertex});
+}
+
+ConjunctiveQuery KColorQueryNonBoolean(const Graph& g, double free_fraction,
+                                       Rng& rng) {
+  std::vector<Atom> atoms = EdgeAtoms(g);
+  PPR_CHECK(!atoms.empty());
+  PPR_CHECK(free_fraction > 0.0 && free_fraction <= 1.0);
+
+  // Only vertices that occur in some edge can be free (isolated vertices
+  // do not appear in the query at all).
+  std::vector<AttrId> candidates;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) > 0) candidates.push_back(v);
+  }
+  int num_free = static_cast<int>(free_fraction *
+                                  static_cast<double>(candidates.size()));
+  num_free = std::max(num_free, 1);
+  rng.Shuffle(candidates);
+  std::vector<AttrId> free_vars(candidates.begin(),
+                                candidates.begin() + num_free);
+  std::sort(free_vars.begin(), free_vars.end());
+  return ConjunctiveQuery(std::move(atoms), std::move(free_vars));
+}
+
+ConjunctiveQuery PentagonQuery() {
+  std::vector<Atom> atoms = {
+      Atom{kEdgeRelationName, {0, 1}},  // edge(v1, v2)
+      Atom{kEdgeRelationName, {0, 4}},  // edge(v1, v5)
+      Atom{kEdgeRelationName, {3, 4}},  // edge(v4, v5)
+      Atom{kEdgeRelationName, {2, 3}},  // edge(v3, v4)
+      Atom{kEdgeRelationName, {1, 2}},  // edge(v2, v3)
+  };
+  return ConjunctiveQuery(std::move(atoms), {0});
+}
+
+}  // namespace ppr

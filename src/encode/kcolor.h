@@ -1,0 +1,46 @@
+#ifndef PPR_ENCODE_KCOLOR_H_
+#define PPR_ENCODE_KCOLOR_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// Name under which the coloring edge relation is stored.
+inline constexpr char kEdgeRelationName[] = "edge";
+
+/// The binary `edge` relation of Section 2: all ordered pairs of *distinct*
+/// colors from {1..num_colors}. For 3-COLOR this is the single 6-tuple
+/// relation the whole evaluation runs against.
+Relation ColoringEdgeRelation(int num_colors);
+
+/// Stores ColoringEdgeRelation(num_colors) in `db` under "edge".
+void AddColoringRelations(int num_colors, Database* db);
+
+/// Translates a k-COLOR instance into the Boolean project-join query
+///     pi_{v1} |><|_{(vi,vj) in E} edge(vi, vj)
+/// of Section 2. Graph vertex i becomes attribute i; each graph edge
+/// (u, v), u < v, becomes one atom edge(u, v), listed in lexicographic
+/// order. Following the paper's SQL emulation of Boolean queries, the
+/// target schema contains the single first vertex occurring in an edge.
+/// The query result is nonempty iff the graph is k-colorable.
+ConjunctiveQuery KColorQuery(const Graph& g);
+
+/// Non-Boolean variant (Section 6.1): `free_fraction` of the vertices
+/// (rounded down, at least 1) are chosen uniformly at random to be free and
+/// listed in the target schema. The paper uses free_fraction = 0.2.
+ConjunctiveQuery KColorQueryNonBoolean(const Graph& g, double free_fraction,
+                                       Rng& rng);
+
+/// The Appendix A pentagon query, with atoms in exactly the paper's order:
+/// edge(v1,v2), edge(v1,v5), edge(v4,v5), edge(v3,v4), edge(v2,v3),
+/// projecting v1 (attributes are 0-based: v_i -> i-1). Golden fixture for
+/// the SQL generator tests.
+ConjunctiveQuery PentagonQuery();
+
+}  // namespace ppr
+
+#endif  // PPR_ENCODE_KCOLOR_H_

@@ -1,0 +1,130 @@
+#include "encode/reference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+// Recursive coloring over vertices in descending-degree order (a standard
+// fail-first heuristic; keeps the oracle fast on the paper's instances).
+bool ColorRec(const Graph& g, const std::vector<int>& order, size_t pos, int k,
+              std::vector<int>& color) {
+  if (pos == order.size()) return true;
+  const int v = order[pos];
+  for (int c = 1; c <= k; ++c) {
+    bool ok = true;
+    for (int u : g.Neighbors(v)) {
+      if (color[static_cast<size_t>(u)] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    color[static_cast<size_t>(v)] = c;
+    if (ColorRec(g, order, pos + 1, k, color)) return true;
+    color[static_cast<size_t>(v)] = 0;
+  }
+  return false;
+}
+
+enum class PropagationResult { kOk, kConflict };
+
+// Assigns lit.var so that lit is true, then propagates units.
+PropagationResult Propagate(const Cnf& cnf, std::vector<int>& assignment,
+                            std::vector<int>& trail, int var, int value) {
+  std::vector<std::pair<int, int>> pending = {{var, value}};
+  while (!pending.empty()) {
+    auto [v, val] = pending.back();
+    pending.pop_back();
+    if (assignment[static_cast<size_t>(v)] != -1) {
+      if (assignment[static_cast<size_t>(v)] != val) {
+        return PropagationResult::kConflict;
+      }
+      continue;
+    }
+    assignment[static_cast<size_t>(v)] = val;
+    trail.push_back(v);
+    // Scan clauses for conflicts and new units (no watched literals; the
+    // oracle only runs on small formulas).
+    for (const auto& clause : cnf.clauses) {
+      int unassigned = 0;
+      const Literal* unit = nullptr;
+      bool satisfied = false;
+      for (const Literal& lit : clause) {
+        const int a = assignment[static_cast<size_t>(lit.var)];
+        if (a == -1) {
+          ++unassigned;
+          unit = &lit;
+        } else if ((a == 1) != lit.negated) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return PropagationResult::kConflict;
+      if (unassigned == 1) {
+        pending.emplace_back(unit->var, unit->negated ? 0 : 1);
+      }
+    }
+  }
+  return PropagationResult::kOk;
+}
+
+bool DpllRec(const Cnf& cnf, std::vector<int>& assignment) {
+  // Pick an unassigned variable occurring in an unsatisfied clause.
+  int pick = -1;
+  for (const auto& clause : cnf.clauses) {
+    bool satisfied = false;
+    int candidate = -1;
+    for (const Literal& lit : clause) {
+      const int a = assignment[static_cast<size_t>(lit.var)];
+      if (a == -1) {
+        candidate = lit.var;
+      } else if ((a == 1) != lit.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied && candidate != -1) {
+      pick = candidate;
+      break;
+    }
+    if (!satisfied && candidate == -1) return false;  // falsified clause
+  }
+  if (pick == -1) return true;  // all clauses satisfied
+
+  for (int val : {1, 0}) {
+    std::vector<int> trail;
+    if (Propagate(cnf, assignment, trail, pick, val) ==
+            PropagationResult::kOk &&
+        DpllRec(cnf, assignment)) {
+      return true;
+    }
+    for (int v : trail) assignment[static_cast<size_t>(v)] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsKColorable(const Graph& g, int k) {
+  PPR_CHECK(k >= 1);
+  const int n = g.num_vertices();
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return g.Degree(a) > g.Degree(b); });
+  std::vector<int> color(static_cast<size_t>(n), 0);
+  return ColorRec(g, order, 0, k, color);
+}
+
+bool IsSatisfiable(const Cnf& cnf) {
+  std::vector<int> assignment(static_cast<size_t>(cnf.num_vars), -1);
+  return DpllRec(cnf, assignment);
+}
+
+}  // namespace ppr

@@ -1,0 +1,20 @@
+#ifndef PPR_ENCODE_REFERENCE_H_
+#define PPR_ENCODE_REFERENCE_H_
+
+#include "encode/sat.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Backtracking k-colorability decision (independent of the query engine).
+/// Oracle for the strategy-equivalence tests and benches: every strategy's
+/// Boolean answer must match this.
+bool IsKColorable(const Graph& g, int k);
+
+/// DPLL-style satisfiability decision with unit propagation. Oracle for
+/// the SAT-encoded queries.
+bool IsSatisfiable(const Cnf& cnf);
+
+}  // namespace ppr
+
+#endif  // PPR_ENCODE_REFERENCE_H_

@@ -1,0 +1,135 @@
+#include "encode/sat.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppr {
+
+std::string Cnf::ToString() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out << " & ";
+    out << "(";
+    for (size_t i = 0; i < clauses[c].size(); ++i) {
+      if (i > 0) out << " | ";
+      if (clauses[c][i].negated) out << "!";
+      out << "x" << clauses[c][i].var;
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+Cnf RandomKSat(int num_vars, int num_clauses, int k, Rng& rng) {
+  PPR_CHECK(k >= 1 && num_vars >= k && num_clauses >= 0);
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  cnf.clauses.reserve(static_cast<size_t>(num_clauses));
+  for (int c = 0; c < num_clauses; ++c) {
+    // k distinct variables via partial Fisher-Yates over a scratch list.
+    std::vector<int> vars(static_cast<size_t>(num_vars));
+    for (int v = 0; v < num_vars; ++v) vars[static_cast<size_t>(v)] = v;
+    std::vector<Literal> clause;
+    clause.reserve(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      const size_t j =
+          static_cast<size_t>(i) +
+          static_cast<size_t>(rng.NextBounded(vars.size() - i));
+      std::swap(vars[static_cast<size_t>(i)], vars[j]);
+      clause.push_back(
+          Literal{vars[static_cast<size_t>(i)], rng.NextBernoulli(0.5)});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+std::string SatRelationName(int k, unsigned mask) {
+  std::ostringstream out;
+  out << "sat" << k << "_" << mask;
+  return out.str();
+}
+
+void AddSatRelations(int k, Database* db) {
+  PPR_CHECK(k >= 1 && k <= 16);
+  const unsigned rows = 1u << k;
+  for (unsigned mask = 0; mask < rows; ++mask) {
+    std::vector<AttrId> cols(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) cols[static_cast<size_t>(i)] = i;
+    Relation rel{Schema(cols)};
+    // Keep every assignment except the one falsifying all literals:
+    // position i false means value = (negated ? 1 : 0).
+    unsigned falsifying = 0;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) falsifying |= 1u << i;
+    }
+    for (unsigned row = 0; row < rows; ++row) {
+      if (row == falsifying) continue;
+      std::vector<Value> tuple(static_cast<size_t>(k));
+      for (int i = 0; i < k; ++i) {
+        tuple[static_cast<size_t>(i)] = (row >> i) & 1u;
+      }
+      rel.AddTuple(tuple);
+    }
+    db->Put(SatRelationName(k, mask), std::move(rel));
+  }
+}
+
+namespace {
+
+std::vector<Atom> ClauseAtoms(const Cnf& cnf) {
+  std::vector<Atom> atoms;
+  atoms.reserve(cnf.clauses.size());
+  for (const auto& clause : cnf.clauses) {
+    unsigned mask = 0;
+    std::vector<AttrId> args;
+    args.reserve(clause.size());
+    for (size_t i = 0; i < clause.size(); ++i) {
+      if (clause[i].negated) mask |= 1u << i;
+      args.push_back(clause[i].var);
+    }
+    atoms.push_back(
+        Atom{SatRelationName(static_cast<int>(clause.size()), mask),
+             std::move(args)});
+  }
+  return atoms;
+}
+
+std::vector<AttrId> UsedVars(const Cnf& cnf) {
+  std::vector<AttrId> used;
+  for (const auto& clause : cnf.clauses) {
+    for (const Literal& lit : clause) used.push_back(lit.var);
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+}  // namespace
+
+ConjunctiveQuery SatQuery(const Cnf& cnf) {
+  std::vector<Atom> atoms = ClauseAtoms(cnf);
+  PPR_CHECK(!atoms.empty());
+  const AttrId first = atoms.front().args.front();
+  return ConjunctiveQuery(std::move(atoms), {first});
+}
+
+ConjunctiveQuery SatQueryNonBoolean(const Cnf& cnf, double free_fraction,
+                                    Rng& rng) {
+  std::vector<Atom> atoms = ClauseAtoms(cnf);
+  PPR_CHECK(!atoms.empty());
+  PPR_CHECK(free_fraction > 0.0 && free_fraction <= 1.0);
+  std::vector<AttrId> candidates = UsedVars(cnf);
+  int num_free = static_cast<int>(free_fraction *
+                                  static_cast<double>(candidates.size()));
+  num_free = std::max(num_free, 1);
+  rng.Shuffle(candidates);
+  std::vector<AttrId> free_vars(candidates.begin(),
+                                candidates.begin() + num_free);
+  std::sort(free_vars.begin(), free_vars.end());
+  return ConjunctiveQuery(std::move(atoms), std::move(free_vars));
+}
+
+}  // namespace ppr

@@ -1,0 +1,67 @@
+#ifndef PPR_ENCODE_SAT_H_
+#define PPR_ENCODE_SAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// A propositional literal over 0-based variable ids.
+struct Literal {
+  int var = 0;
+  bool negated = false;
+};
+
+/// A CNF formula. Clauses are literal lists; the generators below produce
+/// clauses with distinct variables (required by the query encoding, which
+/// binds one attribute per clause position).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Literal>> clauses;
+
+  int num_clauses() const { return static_cast<int>(clauses.size()); }
+
+  /// Clause density m/n, the x-axis of Fig. 2.
+  double Density() const {
+    return num_vars == 0 ? 0.0
+                         : static_cast<double>(clauses.size()) / num_vars;
+  }
+
+  /// Renders "(x0 | !x1 | x2) & ...".
+  std::string ToString() const;
+};
+
+/// Uniform random k-SAT: each clause picks k distinct variables uniformly
+/// and negates each independently with probability 1/2. Duplicate clauses
+/// are allowed (as in the standard fixed-clause-length model).
+Cnf RandomKSat(int num_vars, int num_clauses, int k, Rng& rng);
+
+/// Name of the stored relation for a k-literal clause whose negation
+/// pattern is `mask` (bit i set = position i negated): e.g. "sat3_5".
+std::string SatRelationName(int k, unsigned mask);
+
+/// Stores the 2^k clause relations for width-k clauses in `db`: relation
+/// for `mask` holds the 2^k - 1 satisfying assignments (domain {0,1}) —
+/// everything except the single all-literals-false row.
+void AddSatRelations(int k, Database* db);
+
+/// Translates a CNF into a project-join query: one atom per clause over
+/// the relation matching its sign pattern; variable i becomes attribute i.
+/// Boolean emulation selects the first variable of the first clause.
+/// The query result is nonempty iff the CNF is satisfiable (Section 7:
+/// "we have also tested our algorithms on queries constructed from 3-SAT
+/// and 2-SAT").
+ConjunctiveQuery SatQuery(const Cnf& cnf);
+
+/// Non-Boolean variant: `free_fraction` of the used variables (at least 1)
+/// become free, chosen uniformly at random.
+ConjunctiveQuery SatQueryNonBoolean(const Cnf& cnf, double free_fraction,
+                                    Rng& rng);
+
+}  // namespace ppr
+
+#endif  // PPR_ENCODE_SAT_H_

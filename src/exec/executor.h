@@ -1,0 +1,71 @@
+#ifndef PPR_EXEC_EXECUTOR_H_
+#define PPR_EXEC_EXECUTOR_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/exec_context.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// Which join operator the executor uses at every internal node. The
+/// paper fixed hash joins ("hash joins proved most efficient in our
+/// setting"); kSortMerge exists to test that claim on identical plans.
+enum class JoinAlgorithm {
+  kHash,
+  kSortMerge,
+};
+
+/// Knobs for one execution.
+struct ExecutionOptions {
+  /// Bound on total tuples produced (the deterministic timeout).
+  Counter tuple_budget = kCounterMax;
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+};
+
+/// Outcome of executing one plan.
+struct ExecutionResult {
+  /// OK, or RESOURCE_EXHAUSTED when the tuple budget ran out ("timeout"),
+  /// or an error from plan/query mismatch.
+  Status status;
+  /// The query answer, a relation over the target schema. Only meaningful
+  /// when status is OK.
+  Relation output;
+  /// Work counters (tuples produced, widest intermediate, ...).
+  ExecStats stats;
+  /// Wall-clock execution time in seconds.
+  double seconds = 0.0;
+
+  /// The Boolean answer: nonempty result. Only meaningful when OK.
+  bool nonempty() const { return !output.empty(); }
+};
+
+/// Evaluates `plan` bottom-up against `db`: leaves bind stored relations
+/// to atom attributes, internal nodes hash-join their children left to
+/// right and then apply the node's projection (with DISTINCT) when the
+/// projected label is a strict subset of the working label.
+///
+/// `tuple_budget` bounds total tuples produced across all operators; when
+/// exceeded the result carries RESOURCE_EXHAUSTED (the deterministic
+/// stand-in for the paper's timeouts).
+ExecutionResult ExecutePlan(const ConjunctiveQuery& query, const Plan& plan,
+                            const Database& db,
+                            Counter tuple_budget = kCounterMax);
+
+/// ExecutePlan with full options (join algorithm, budget).
+ExecutionResult ExecutePlanWithOptions(const ConjunctiveQuery& query,
+                                       const Plan& plan, const Database& db,
+                                       const ExecutionOptions& options);
+
+/// Convenience oracle: evaluates the query with the straightforward plan
+/// (no reordering, single final projection). Reference answer for tests.
+ExecutionResult ExecuteStraightforward(const ConjunctiveQuery& query,
+                                       const Database& db,
+                                       Counter tuple_budget = kCounterMax);
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_EXECUTOR_H_

@@ -1,0 +1,146 @@
+#include "exec/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "relational/exec_context.h"
+#include "relational/ops.h"
+
+namespace ppr {
+namespace {
+
+// Estimation state for a subtree: union of attributes and the product of
+// atom selectivities below it.
+struct Estimate {
+  std::vector<AttrId> attrs;  // sorted
+  double selectivity = 1.0;
+};
+
+// Estimated rows of a relation over `projected` given the subtree's full
+// attribute set and accumulated selectivity: the full join has
+// domain^|attrs| * selectivity rows; projecting cannot exceed
+// domain^|projected|.
+double EstimateRows(const Estimate& est, size_t projected_arity,
+                    double domain) {
+  const double full =
+      std::pow(domain, static_cast<double>(est.attrs.size())) *
+      est.selectivity;
+  const double cap = std::pow(domain, static_cast<double>(projected_arity));
+  return std::min(full, cap);
+}
+
+// Recursive profiled evaluation; appends this node's profile (pre-order)
+// and returns its output relation plus estimation state.
+Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
+                      const Database& db, double domain, int depth,
+                      ExecContext& ctx, std::vector<NodeProfile>* out,
+                      Estimate* est) {
+  const size_t my_index = out->size();
+  out->push_back(NodeProfile{});
+
+  Relation result;
+  if (node->IsLeaf()) {
+    const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
+    const Relation* stored = *db.Get(atom.relation);
+    est->attrs = node->working;
+    est->selectivity =
+        static_cast<double>(stored->size()) /
+        std::pow(domain, static_cast<double>(atom.args.size()));
+    result = BindAtom(*stored, atom.args, ctx);
+    if (node->Projects() && !ctx.exhausted()) {
+      result = Project(result, node->projected, ctx);
+    }
+    (*out)[my_index].label = atom.ToString();
+  } else {
+    Estimate acc_est;
+    Relation acc;
+    bool first = true;
+    for (const auto& child : node->children) {
+      if (ctx.exhausted()) break;
+      Estimate child_est;
+      Relation child_rel = EvalProfiled(query, child.get(), db, domain,
+                                        depth + 1, ctx, out, &child_est);
+      if (first) {
+        acc = std::move(child_rel);
+        acc_est = std::move(child_est);
+        first = false;
+      } else {
+        if (ctx.exhausted()) break;
+        acc = NaturalJoin(acc, child_rel, ctx);
+        std::vector<AttrId> merged;
+        std::set_union(acc_est.attrs.begin(), acc_est.attrs.end(),
+                       child_est.attrs.begin(), child_est.attrs.end(),
+                       std::back_inserter(merged));
+        acc_est.attrs = std::move(merged);
+        acc_est.selectivity *= child_est.selectivity;
+      }
+    }
+    if (node->Projects() && !ctx.exhausted()) {
+      acc = Project(acc, node->projected, ctx);
+    }
+    result = std::move(acc);
+    *est = std::move(acc_est);
+    (*out)[my_index].label = "join";
+  }
+
+  NodeProfile& profile = (*out)[my_index];
+  profile.depth = depth;
+  profile.working_arity = static_cast<int>(node->working.size());
+  profile.projected_arity = static_cast<int>(node->projected.size());
+  profile.estimated_rows = EstimateRows(*est, node->projected.size(), domain);
+  profile.actual_rows = ctx.exhausted() ? -1 : result.size();
+  return result;
+}
+
+}  // namespace
+
+std::string ExplainResult::ToString() const {
+  std::ostringstream out;
+  for (const NodeProfile& p : nodes) {
+    out << std::string(static_cast<size_t>(p.depth) * 2, ' ') << p.label
+        << "  [arity " << p.working_arity << "->" << p.projected_arity
+        << "]  est=" << p.estimated_rows << " actual=" << p.actual_rows
+        << "\n";
+  }
+  return out.str();
+}
+
+double ExplainResult::WorstEstimateRatio() const {
+  double worst = 1.0;
+  for (const NodeProfile& p : nodes) {
+    if (p.actual_rows < 0 || p.estimated_rows <= 0) continue;  // truncated
+    // Smooth empty results to one row so "predicted rows, got none" —
+    // the signature failure of independence estimates on correlated
+    // queries — registers as a finite but large ratio.
+    const double actual = std::max(1.0, static_cast<double>(p.actual_rows));
+    const double estimate = std::max(1.0, p.estimated_rows);
+    worst = std::max(worst, std::max(actual / estimate, estimate / actual));
+  }
+  return worst;
+}
+
+ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db, double domain_size,
+                          Counter tuple_budget) {
+  ExplainResult result;
+  PPR_CHECK(domain_size >= 1.0);
+  if (plan.empty()) {
+    result.status = Status::InvalidArgument("empty plan");
+    return result;
+  }
+  result.status = query.Validate(db);
+  if (!result.status.ok()) return result;
+
+  ExecContext ctx(tuple_budget);
+  Estimate est;
+  EvalProfiled(query, plan.root(), db, domain_size, 0, ctx, &result.nodes,
+               &est);
+  if (ctx.exhausted()) {
+    result.status = Status::ResourceExhausted("tuple budget exceeded");
+  }
+  return result;
+}
+
+}  // namespace ppr

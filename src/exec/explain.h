@@ -1,0 +1,55 @@
+#ifndef PPR_EXEC_EXPLAIN_H_
+#define PPR_EXEC_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Per-node execution profile: what the textbook cardinality model
+/// predicted versus what the engine actually materialized. The
+/// estimate-vs-actual gap is exactly why the paper walks away from
+/// cost-based optimization on these queries — on tiny domains with heavy
+/// correlation, independence-based estimates drift by orders of
+/// magnitude while the *structural* width bound stays exact.
+struct NodeProfile {
+  std::string label;       // "edge(x0, x1)" or "join"
+  int depth = 0;           // root = 0
+  int working_arity = 0;   // |L_w|
+  int projected_arity = 0; // |L_p|
+  double estimated_rows = 0.0;  // independence-assumption estimate
+  int64_t actual_rows = 0;      // measured output rows
+};
+
+/// Result of profiling one plan execution.
+struct ExplainResult {
+  Status status;
+  /// Pre-order (root first) node profiles.
+  std::vector<NodeProfile> nodes;
+
+  /// Indented EXPLAIN ANALYZE-style rendering.
+  std::string ToString() const;
+
+  /// max(actual/estimate, estimate/actual) over profiled nodes (empty
+  /// results smoothed to one row) — the worst-case multiplicative
+  /// estimation error.
+  double WorstEstimateRatio() const;
+};
+
+/// Executes `plan` while recording, for every node, the estimated output
+/// cardinality (uniform attributes over a domain of `domain_size` values,
+/// independent predicates — the model of optsearch/cost_model.h) and the
+/// actual row count.
+ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db, double domain_size,
+                          Counter tuple_budget = kCounterMax);
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_EXPLAIN_H_

@@ -1,0 +1,169 @@
+#include "exec/minibuckets.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "graph/elimination.h"
+#include "relational/ops.h"
+
+namespace ppr {
+namespace {
+
+// Sorted union of the attribute sets of `a` and `b`.
+std::vector<AttrId> UnionAttrs(const std::vector<AttrId>& a,
+                               const std::vector<AttrId>& b) {
+  std::vector<AttrId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<AttrId> SortedAttrs(const Relation& rel) {
+  std::vector<AttrId> attrs = rel.schema().attrs();
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+}  // namespace
+
+MiniBucketResult MiniBucketEliminate(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const std::vector<AttrId>& numbering,
+                                     int i_bound, Counter tuple_budget) {
+  MiniBucketResult out;
+  out.i_bound = i_bound;
+  PPR_CHECK(i_bound >= 1);
+  out.status = query.Validate(db);
+  if (!out.status.ok()) return out;
+
+  std::map<AttrId, int> position;
+  for (size_t i = 0; i < numbering.size(); ++i) {
+    const bool inserted =
+        position.emplace(numbering[i], static_cast<int>(i)).second;
+    PPR_CHECK(inserted);
+  }
+
+  ExecContext ctx(tuple_budget);
+  auto is_free = [&](AttrId a) {
+    return std::find(query.free_vars().begin(), query.free_vars().end(),
+                     a) != query.free_vars().end();
+  };
+  auto max_position = [&](const Relation& rel) {
+    int best = -1;
+    for (AttrId a : rel.schema().attrs()) {
+      best = std::max(best, position.at(a));
+    }
+    return best;
+  };
+
+  const int n = static_cast<int>(numbering.size());
+  std::vector<std::vector<Relation>> buckets(static_cast<size_t>(n));
+  std::vector<Relation> leftovers;
+
+  auto route = [&](Relation rel, int below) {
+    // Sends `rel` to the bucket of its highest-numbered attribute strictly
+    // below `below`, or to the leftovers when none exists.
+    int dest = -1;
+    for (AttrId a : rel.schema().attrs()) {
+      const int p = position.at(a);
+      if (p < below) dest = std::max(dest, p);
+    }
+    // An emptied relation soundly proves the answer empty — but only when
+    // it is genuinely empty, not truncated by the budget.
+    if (rel.empty() && !ctx.exhausted()) out.proven_empty = true;
+    if (dest < 0) {
+      leftovers.push_back(std::move(rel));
+    } else {
+      buckets[static_cast<size_t>(dest)].push_back(std::move(rel));
+    }
+  };
+
+  for (const Atom& atom : query.atoms()) {
+    const Relation* stored = *db.Get(atom.relation);
+    Relation bound = BindAtom(*stored, atom.args, ctx);
+    if (ctx.exhausted()) break;
+    const int below = max_position(bound) + 1;  // its own top bucket
+    route(std::move(bound), below);
+  }
+
+  for (int i = n - 1; i >= 0 && !ctx.exhausted(); --i) {
+    auto& bucket = buckets[static_cast<size_t>(i)];
+    if (bucket.empty()) continue;
+    const AttrId var = numbering[static_cast<size_t>(i)];
+
+    // Greedy first-fit partition into mini-buckets whose joint schema has
+    // at most i_bound attributes (a single over-wide relation forms its
+    // own mini-bucket).
+    std::vector<std::vector<Relation>> minis;
+    std::vector<std::vector<AttrId>> mini_attrs;
+    for (Relation& rel : bucket) {
+      const std::vector<AttrId> attrs = SortedAttrs(rel);
+      bool placed = false;
+      for (size_t mb = 0; mb < minis.size(); ++mb) {
+        std::vector<AttrId> merged = UnionAttrs(mini_attrs[mb], attrs);
+        if (static_cast<int>(merged.size()) <= i_bound) {
+          minis[mb].push_back(std::move(rel));
+          mini_attrs[mb] = std::move(merged);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        minis.push_back({});
+        minis.back().push_back(std::move(rel));
+        mini_attrs.push_back(attrs);
+      }
+    }
+    bucket.clear();
+    if (minis.size() > 1) out.buckets_split++;
+
+    // Join each mini-bucket and project the bucket variable out of each —
+    // projecting per mini-bucket instead of per bucket is exactly the
+    // upper-bound relaxation.
+    for (auto& mini : minis) {
+      Relation acc = std::move(mini.front());
+      for (size_t r = 1; r < mini.size() && !ctx.exhausted(); ++r) {
+        acc = NaturalJoin(acc, mini[r], ctx);
+      }
+      if (ctx.exhausted()) break;
+      if (!is_free(var) && acc.schema().Contains(var)) {
+        std::vector<AttrId> keep;
+        for (AttrId a : acc.schema().attrs()) {
+          if (a != var) keep.push_back(a);
+        }
+        acc = Project(acc, keep, ctx);
+      }
+      route(std::move(acc), i);
+    }
+  }
+
+  // Final join of the leftovers: empty anywhere proves emptiness.
+  if (!ctx.exhausted() && !leftovers.empty()) {
+    Relation acc = std::move(leftovers.front());
+    for (size_t r = 1; r < leftovers.size() && !ctx.exhausted(); ++r) {
+      acc = NaturalJoin(acc, leftovers[r], ctx);
+    }
+    if (!ctx.exhausted() && acc.empty()) out.proven_empty = true;
+  }
+
+  out.stats = ctx.stats();
+  out.status = ctx.exhausted()
+                   ? Status::ResourceExhausted("tuple budget exceeded")
+                   : Status::Ok();
+  return out;
+}
+
+MiniBucketResult MiniBucketEliminateMcs(const ConjunctiveQuery& query,
+                                        const Database& db, int i_bound,
+                                        Rng* rng, Counter tuple_budget) {
+  const Graph join_graph = BuildJoinGraph(query);
+  const std::vector<int> numbering =
+      MaxCardinalityNumbering(join_graph, query.free_vars(), rng);
+  return MiniBucketEliminate(query, db,
+                             std::vector<AttrId>(numbering.begin(),
+                                                 numbering.end()),
+                             i_bound, tuple_budget);
+}
+
+}  // namespace ppr

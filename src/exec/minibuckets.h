@@ -1,0 +1,52 @@
+#ifndef PPR_EXEC_MINIBUCKETS_H_
+#define PPR_EXEC_MINIBUCKETS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/exec_context.h"
+
+namespace ppr {
+
+/// Outcome of a mini-bucket run. Mini-bucket elimination (Dechter [12],
+/// cited as future work in Section 7) is bucket elimination with bounded
+/// bucket joins: a bucket whose relations would exceed the arity bound is
+/// split into "mini-buckets" that are joined and projected separately.
+/// The result is a *relaxation* — a superset of the true projection — so:
+///  - an empty relaxed answer soundly proves the true answer empty;
+///  - a nonempty relaxed answer is inconclusive.
+struct MiniBucketResult {
+  Status status;  // OK or RESOURCE_EXHAUSTED
+  /// True when the relaxation came out empty: the query answer is
+  /// certainly empty (e.g. the graph is certainly not 3-colorable).
+  bool proven_empty = false;
+  /// The arity bound actually used.
+  int i_bound = 0;
+  /// Number of buckets that had to be split.
+  int buckets_split = 0;
+  ExecStats stats;
+};
+
+/// Runs mini-bucket elimination with arity bound `i_bound` along the
+/// given variable numbering (free variables first, as in Section 5).
+/// With i_bound >= the bucket-elimination induced width, no bucket is
+/// split and the decision is exact.
+MiniBucketResult MiniBucketEliminate(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const std::vector<AttrId>& numbering,
+                                     int i_bound,
+                                     Counter tuple_budget = kCounterMax);
+
+/// Convenience wrapper using the MCS numbering of the join graph.
+MiniBucketResult MiniBucketEliminateMcs(const ConjunctiveQuery& query,
+                                        const Database& db, int i_bound,
+                                        Rng* rng,
+                                        Counter tuple_budget = kCounterMax);
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_MINIBUCKETS_H_

@@ -1,0 +1,77 @@
+#include "exec/semijoin_pass.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "relational/ops.h"
+
+namespace ppr {
+
+SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
+                                  const Database& db, int max_rounds) {
+  SemijoinPassResult out;
+  out.status = query.Validate(db);
+  if (!out.status.ok()) return out;
+  const int m = query.num_atoms();
+  PPR_CHECK(m > 0);
+
+  ExecContext ctx;
+
+  // Materialize each atom as its own relation over the atom's attributes.
+  std::vector<Relation> relations;
+  relations.reserve(static_cast<size_t>(m));
+  for (const Atom& atom : query.atoms()) {
+    const Relation* stored = *db.Get(atom.relation);
+    relations.push_back(BindAtom(*stored, atom.args, ctx));
+  }
+
+  // Atoms that share at least one attribute exchange semijoins.
+  std::vector<std::pair<int, int>> overlapping;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      if (!relations[static_cast<size_t>(i)]
+               .schema()
+               .CommonAttrs(relations[static_cast<size_t>(j)].schema())
+               .empty()) {
+        overlapping.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Fixpoint: keep running the semijoin program until a pass removes
+  // nothing (or the round bound is hit).
+  for (int round = 0; round < max_rounds; ++round) {
+    Counter removed_this_round = 0;
+    for (const auto& [i, j] : overlapping) {
+      for (const auto& [from, to] :
+           {std::pair<int, int>{j, i}, std::pair<int, int>{i, j}}) {
+        Relation& target = relations[static_cast<size_t>(to)];
+        const Relation& filter = relations[static_cast<size_t>(from)];
+        const int64_t before = target.size();
+        target = SemiJoin(target, filter, ctx);
+        out.semijoins_performed++;
+        removed_this_round += before - target.size();
+      }
+    }
+    out.tuples_removed += removed_this_round;
+    if (removed_this_round == 0) break;
+  }
+
+  // Rewrite the query so atom i reads its reduced relation; attribute
+  // order of the new relation is the atom's distinct-attribute order, so
+  // the rewritten atom lists exactly those attributes (repeats are
+  // already folded into the reduced relation).
+  for (int i = 0; i < m; ++i) {
+    const std::string name = "atom" + std::to_string(i);
+    if (relations[static_cast<size_t>(i)].empty()) out.proven_empty = true;
+    Atom atom;
+    atom.relation = name;
+    atom.args = relations[static_cast<size_t>(i)].schema().attrs();
+    out.query.AddAtom(std::move(atom));
+    out.db.Put(name, std::move(relations[static_cast<size_t>(i)]));
+  }
+  out.query.SetFreeVars(query.free_vars());
+  return out;
+}
+
+}  // namespace ppr

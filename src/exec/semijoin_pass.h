@@ -1,0 +1,48 @@
+#ifndef PPR_EXEC_SEMIJOIN_PASS_H_
+#define PPR_EXEC_SEMIJOIN_PASS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/exec_context.h"
+
+namespace ppr {
+
+/// Result of a semijoin reduction pass (the Wong-Youssefi / Yannakakis
+/// direction the paper defers to future work in Section 7).
+struct SemijoinPassResult {
+  Status status;
+  /// Rewritten query: atom i now references its own reduced relation.
+  ConjunctiveQuery query;
+  /// Database holding one reduced relation per atom.
+  Database db;
+  /// Tuples eliminated across all atoms (0 on the paper's coloring
+  /// queries — Section 2 notes semijoins are useless there because every
+  /// projection of `edge` yields the full color domain).
+  Counter tuples_removed = 0;
+  /// Semijoin operations performed until the fixpoint.
+  Counter semijoins_performed = 0;
+  /// True when some atom's relation became empty (query answer is empty).
+  bool proven_empty = false;
+};
+
+/// Runs semijoins between overlapping atoms to a fixpoint, shrinking each
+/// atom's relation to the tuples that can still participate in the join.
+/// For acyclic queries this computes the full reduction of Yannakakis
+/// [35], after which intermediate results never shrink to zero mid-join;
+/// for cyclic queries it is still a sound filter. The returned query/db
+/// pair can be planned and executed with any strategy.
+///
+/// `max_rounds` bounds the number of full passes (each pass is O(m^2)
+/// semijoins); the fixpoint is reached when a pass removes nothing.
+SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
+                                  const Database& db, int max_rounds = 16);
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_SEMIJOIN_PASS_H_

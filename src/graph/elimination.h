@@ -1,0 +1,63 @@
+#ifndef PPR_GRAPH_ELIMINATION_H_
+#define PPR_GRAPH_ELIMINATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// A vertex elimination order: `order[0]` is eliminated first. Bucket
+/// elimination processes buckets from the highest-numbered variable down
+/// (Section 5), i.e. it eliminates variables in the *reverse* of the
+/// variable numbering; this type always stores elimination order.
+using EliminationOrder = std::vector<int>;
+
+/// Maximum-cardinality search numbering of Tarjan & Yannakakis [31], as
+/// used in Section 5: vertices in `initial` are numbered first (the paper
+/// numbers the target-schema variables first), then each next vertex
+/// maximizes the number of edges to already-numbered vertices. Ties are
+/// broken uniformly at random via `rng` when non-null, else by smallest
+/// vertex id (deterministic runs for tests).
+///
+/// Returns the vertices in numbering order (first-numbered first).
+std::vector<int> MaxCardinalityNumbering(const Graph& g,
+                                         const std::vector<int>& initial,
+                                         Rng* rng);
+
+/// Elimination order induced by the MCS numbering: the reverse of
+/// MaxCardinalityNumbering, so that the vertices in `keep_last` (free
+/// variables) are eliminated last.
+EliminationOrder McsEliminationOrder(const Graph& g,
+                                     const std::vector<int>& keep_last,
+                                     Rng* rng);
+
+/// Greedy min-degree elimination order (classic bucket-elimination
+/// heuristic; ablation baseline). Vertices in `keep_last` are only
+/// eliminated once every other vertex is gone.
+EliminationOrder MinDegreeOrder(const Graph& g,
+                                const std::vector<int>& keep_last);
+
+/// Greedy min-fill elimination order: each step eliminates the vertex
+/// whose elimination adds the fewest fill edges (ablation baseline).
+EliminationOrder MinFillOrder(const Graph& g,
+                              const std::vector<int>& keep_last);
+
+/// Plays the elimination game along `order` (connecting the not-yet-
+/// eliminated neighbors of each eliminated vertex) and returns the induced
+/// width: the maximum, over eliminated vertices, of the number of
+/// not-yet-eliminated neighbors at elimination time. This equals the
+/// maximum arity of the projected bucket relations r'_i in Section 5, and
+/// under the best order equals treewidth (Theorem 2).
+/// `order` must be a permutation of the vertices.
+int InducedWidth(const Graph& g, const EliminationOrder& order);
+
+/// True when `g` is chordal, tested via MCS + perfect-elimination-order
+/// check (Tarjan & Yannakakis). Chordal graphs are exactly those whose MCS
+/// elimination order has zero fill.
+bool IsChordal(const Graph& g);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_ELIMINATION_H_

@@ -1,0 +1,102 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppr {
+
+Graph RandomGraph(int num_vertices, int num_edges, Rng& rng) {
+  PPR_CHECK(num_vertices >= 2 || num_edges == 0);
+  const int64_t max_edges =
+      static_cast<int64_t>(num_vertices) * (num_vertices - 1) / 2;
+  PPR_CHECK(num_edges >= 0 && num_edges <= max_edges);
+  Graph g(num_vertices);
+  while (g.num_edges() < num_edges) {
+    int u = rng.NextInt(0, num_vertices - 1);
+    int v = rng.NextInt(0, num_vertices - 1);
+    if (u != v) g.AddEdge(u, v);  // rejects duplicates; loop until m edges
+  }
+  return g;
+}
+
+Graph RandomGraphWithDensity(int num_vertices, double density, Rng& rng) {
+  int target = static_cast<int>(std::lround(density * num_vertices));
+  const int64_t max_edges =
+      static_cast<int64_t>(num_vertices) * (num_vertices - 1) / 2;
+  if (target > max_edges) target = static_cast<int>(max_edges);
+  return RandomGraph(num_vertices, target, rng);
+}
+
+Graph AugmentedPath(int order) {
+  PPR_CHECK(order >= 1);
+  // Path vertices 0..order-1; the pendant of path vertex i is order + i.
+  // Edges are added in the natural walk order (path step, then pendant),
+  // which is the atom order the encoders use.
+  Graph g(2 * order);
+  for (int i = 0; i < order; ++i) {
+    if (i + 1 < order) g.AddEdge(i, i + 1);
+    g.AddEdge(i, order + i);
+  }
+  return g;
+}
+
+Graph Ladder(int order) {
+  PPR_CHECK(order >= 1);
+  // Rail A: 0..order-1, rail B: order..2*order-1, rung i: (i, order+i).
+  // Natural walk order: rung, then the two rail steps to the next rung.
+  Graph g(2 * order);
+  for (int i = 0; i < order; ++i) {
+    g.AddEdge(i, order + i);
+    if (i + 1 < order) {
+      g.AddEdge(i, i + 1);
+      g.AddEdge(order + i, order + i + 1);
+    }
+  }
+  return g;
+}
+
+Graph AugmentedLadder(int order) {
+  PPR_CHECK(order >= 1);
+  // Ladder vertices 0..2*order-1; the pendant of vertex v is 2*order + v.
+  // Natural walk order: per rung position, the rung, both pendants, and
+  // the rail steps onward.
+  Graph g(4 * order);
+  for (int i = 0; i < order; ++i) {
+    g.AddEdge(i, order + i);                      // rung
+    g.AddEdge(i, 2 * order + i);                  // pendant on rail A
+    g.AddEdge(order + i, 3 * order + i);          // pendant on rail B
+    if (i + 1 < order) {
+      g.AddEdge(i, i + 1);
+      g.AddEdge(order + i, order + i + 1);
+    }
+  }
+  return g;
+}
+
+Graph AugmentedCircularLadder(int order) {
+  PPR_CHECK(order >= 3);
+  Graph g = AugmentedLadder(order);
+  // Close each rail into a cycle: connect top and bottom of the ladder.
+  g.AddEdge(order - 1, 0);
+  g.AddEdge(2 * order - 1, order);
+  return g;
+}
+
+Graph Cycle(int order) {
+  PPR_CHECK(order >= 3);
+  Graph g(order);
+  for (int i = 0; i < order; ++i) g.AddEdge(i, (i + 1) % order);
+  return g;
+}
+
+Graph Complete(int order) {
+  PPR_CHECK(order >= 1);
+  Graph g(order);
+  for (int u = 0; u < order; ++u) {
+    for (int v = u + 1; v < order; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace ppr

@@ -1,0 +1,228 @@
+#include "graph/tree_decomposition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ppr {
+
+int TreeDecomposition::width() const {
+  int max_bag = 0;
+  for (const auto& bag : bags) {
+    max_bag = std::max(max_bag, static_cast<int>(bag.size()));
+  }
+  return max_bag - 1;
+}
+
+int TreeDecomposition::FindCoveringBag(const std::vector<int>& vs) const {
+  for (int i = 0; i < num_bags(); ++i) {
+    const auto& bag = bags[static_cast<size_t>(i)];
+    bool covers = true;
+    for (int v : vs) {
+      if (!std::binary_search(bag.begin(), bag.end(), v)) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return i;
+  }
+  return -1;
+}
+
+std::vector<int> TreeDecomposition::AdjacentBags(int i) const {
+  std::vector<int> out;
+  for (const auto& [a, b] : edges) {
+    if (a == i) out.push_back(b);
+    if (b == i) out.push_back(a);
+  }
+  return out;
+}
+
+std::string TreeDecomposition::ToString() const {
+  std::ostringstream out;
+  out << "TreeDecomposition(width=" << width() << ")";
+  for (int i = 0; i < num_bags(); ++i) {
+    out << "\n  bag " << i << ": {"
+        << StrJoin(bags[static_cast<size_t>(i)], ", ") << "}";
+  }
+  out << "\n  edges:";
+  for (const auto& [a, b] : edges) out << " " << a << "-" << b;
+  return out.str();
+}
+
+Status ValidateTreeDecomposition(const Graph& g, const TreeDecomposition& td) {
+  const int n = g.num_vertices();
+  const int b = td.num_bags();
+  if (b == 0) {
+    return n == 0 ? Status::Ok()
+                  : Status::InvalidArgument("no bags for nonempty graph");
+  }
+
+  // Bags must be sorted vertex lists with in-range entries.
+  for (const auto& bag : td.bags) {
+    if (!std::is_sorted(bag.begin(), bag.end())) {
+      return Status::InvalidArgument("bag not sorted");
+    }
+    if (std::adjacent_find(bag.begin(), bag.end()) != bag.end()) {
+      return Status::InvalidArgument("bag has duplicate vertices");
+    }
+    for (int v : bag) {
+      if (v < 0 || v >= n) return Status::InvalidArgument("bag vertex OOR");
+    }
+  }
+
+  // Tree shape: b-1 edges, connected, endpoints valid.
+  if (static_cast<int>(td.edges.size()) != b - 1) {
+    return Status::InvalidArgument("tree must have num_bags - 1 edges");
+  }
+  std::vector<std::vector<int>> adj(static_cast<size_t>(b));
+  for (const auto& [x, y] : td.edges) {
+    if (x < 0 || x >= b || y < 0 || y >= b || x == y) {
+      return Status::InvalidArgument("bad tree edge");
+    }
+    adj[static_cast<size_t>(x)].push_back(y);
+    adj[static_cast<size_t>(y)].push_back(x);
+  }
+  std::vector<uint8_t> visited(static_cast<size_t>(b), 0);
+  std::vector<int> stack = {0};
+  visited[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    int x = stack.back();
+    stack.pop_back();
+    for (int y : adj[static_cast<size_t>(x)]) {
+      if (!visited[static_cast<size_t>(y)]) {
+        visited[static_cast<size_t>(y)] = 1;
+        ++reached;
+        stack.push_back(y);
+      }
+    }
+  }
+  if (reached != b) return Status::InvalidArgument("tree not connected");
+
+  // Property (1): bags cover all vertices.
+  std::vector<uint8_t> covered(static_cast<size_t>(n), 0);
+  for (const auto& bag : td.bags) {
+    for (int v : bag) covered[static_cast<size_t>(v)] = 1;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!covered[static_cast<size_t>(v)]) {
+      return Status::InvalidArgument("vertex not covered by any bag");
+    }
+  }
+
+  // Property (2): every edge inside some bag.
+  for (const auto& [u, v] : g.Edges()) {
+    if (td.FindCoveringBag({u, v}) < 0) {
+      return Status::InvalidArgument("edge not covered by any bag");
+    }
+  }
+
+  // Property (3): bags containing v induce a connected subtree.
+  for (int v = 0; v < n; ++v) {
+    std::vector<uint8_t> holds(static_cast<size_t>(b), 0);
+    int count = 0;
+    int start = -1;
+    for (int i = 0; i < b; ++i) {
+      const auto& bag = td.bags[static_cast<size_t>(i)];
+      if (std::binary_search(bag.begin(), bag.end(), v)) {
+        holds[static_cast<size_t>(i)] = 1;
+        ++count;
+        start = i;
+      }
+    }
+    if (count == 0) continue;
+    std::vector<uint8_t> seen(static_cast<size_t>(b), 0);
+    std::vector<int> st = {start};
+    seen[static_cast<size_t>(start)] = 1;
+    int hit = 1;
+    while (!st.empty()) {
+      int x = st.back();
+      st.pop_back();
+      for (int y : adj[static_cast<size_t>(x)]) {
+        if (holds[static_cast<size_t>(y)] && !seen[static_cast<size_t>(y)]) {
+          seen[static_cast<size_t>(y)] = 1;
+          ++hit;
+          st.push_back(y);
+        }
+      }
+    }
+    if (hit != count) {
+      return Status::InvalidArgument("occurrence of a vertex not connected");
+    }
+  }
+  return Status::Ok();
+}
+
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const EliminationOrder& order) {
+  const int n = g.num_vertices();
+  PPR_CHECK(static_cast<int>(order.size()) == n);
+  TreeDecomposition td;
+  if (n == 0) return td;
+
+  // Play the elimination game, recording each vertex's bag.
+  std::vector<uint8_t> adj(static_cast<size_t>(n) * n, 0);
+  for (const auto& [u, v] : g.Edges()) {
+    adj[static_cast<size_t>(u) * n + v] = 1;
+    adj[static_cast<size_t>(v) * n + u] = 1;
+  }
+  std::vector<uint8_t> eliminated(static_cast<size_t>(n), 0);
+  std::vector<int> elim_pos(static_cast<size_t>(n), -1);
+  // bag_of[v] = index of the bag created when v was eliminated.
+  std::vector<int> bag_of(static_cast<size_t>(n), -1);
+  std::vector<std::vector<int>> later_nbrs(static_cast<size_t>(n));
+
+  for (int step = 0; step < n; ++step) {
+    const int v = order[static_cast<size_t>(step)];
+    elim_pos[static_cast<size_t>(v)] = step;
+    std::vector<int> nbrs;
+    for (int u = 0; u < n; ++u) {
+      if (!eliminated[static_cast<size_t>(u)] && u != v &&
+          adj[static_cast<size_t>(v) * n + u]) {
+        nbrs.push_back(u);
+      }
+    }
+    later_nbrs[static_cast<size_t>(v)] = nbrs;
+    std::vector<int> bag = nbrs;
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    bag_of[static_cast<size_t>(v)] = static_cast<int>(td.bags.size());
+    td.bags.push_back(std::move(bag));
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[static_cast<size_t>(nbrs[i]) * n + nbrs[j]] = 1;
+        adj[static_cast<size_t>(nbrs[j]) * n + nbrs[i]] = 1;
+      }
+    }
+    eliminated[static_cast<size_t>(v)] = 1;
+  }
+
+  // Bag of v hangs off the bag of the first-eliminated later neighbor;
+  // bags without later neighbors are component roots, chained together.
+  std::vector<int> roots;
+  for (int v = 0; v < n; ++v) {
+    const auto& nbrs = later_nbrs[static_cast<size_t>(v)];
+    if (nbrs.empty()) {
+      roots.push_back(bag_of[static_cast<size_t>(v)]);
+      continue;
+    }
+    int parent = nbrs[0];
+    for (int u : nbrs) {
+      if (elim_pos[static_cast<size_t>(u)] <
+          elim_pos[static_cast<size_t>(parent)]) {
+        parent = u;
+      }
+    }
+    td.edges.emplace_back(bag_of[static_cast<size_t>(v)],
+                          bag_of[static_cast<size_t>(parent)]);
+  }
+  for (size_t i = 1; i < roots.size(); ++i) {
+    td.edges.emplace_back(roots[i - 1], roots[i]);
+  }
+  return td;
+}
+
+}  // namespace ppr

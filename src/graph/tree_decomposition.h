@@ -1,0 +1,53 @@
+#ifndef PPR_GRAPH_TREE_DECOMPOSITION_H_
+#define PPR_GRAPH_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/elimination.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// A tree decomposition (T, X) of a graph (Section 5): a tree whose nodes
+/// carry bags of vertices such that (1) bags cover all vertices, (2) every
+/// graph edge lies inside some bag, and (3) the bags containing any given
+/// vertex form a connected subtree.
+struct TreeDecomposition {
+  /// bags[i] is the sorted vertex set X_i of tree node i.
+  std::vector<std::vector<int>> bags;
+  /// Tree edges as pairs of bag indices.
+  std::vector<std::pair<int, int>> edges;
+
+  int num_bags() const { return static_cast<int>(bags.size()); }
+
+  /// max |X_i| - 1, or -1 for the empty decomposition.
+  int width() const;
+
+  /// Index of some bag containing all of `vs`, or -1.
+  int FindCoveringBag(const std::vector<int>& vs) const;
+
+  /// Bag indices adjacent to bag `i`.
+  std::vector<int> AdjacentBags(int i) const;
+
+  std::string ToString() const;
+};
+
+/// Verifies the three tree-decomposition properties against `g` plus tree
+/// shape (connected, acyclic). Returns InvalidArgument describing the first
+/// violation. Used as a property-test oracle after every construction.
+Status ValidateTreeDecomposition(const Graph& g, const TreeDecomposition& td);
+
+/// Builds a tree decomposition from an elimination order: bag of v = {v} +
+/// its not-yet-eliminated neighbors in the fill graph; the bag of v hangs
+/// off the bag of the first-eliminated vertex among those neighbors. Width
+/// equals InducedWidth(g, order). Roots of different components are chained
+/// so the result is a single tree.
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const EliminationOrder& order);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_TREE_DECOMPOSITION_H_

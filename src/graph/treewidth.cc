@@ -1,0 +1,122 @@
+#include "graph/treewidth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+using Mask = uint32_t;
+
+// Q(S, v): the number of vertices outside S+{v} reachable from v via paths
+// whose internal vertices all lie in S. This is the width incurred by
+// eliminating v after exactly S has been eliminated.
+int QValue(const Graph& g, Mask s, int v) {
+  const int n = g.num_vertices();
+  Mask visited = Mask{1} << v;
+  std::vector<int> stack = {v};
+  int q = 0;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (int u : g.Neighbors(x)) {
+      const Mask bit = Mask{1} << u;
+      if (visited & bit) continue;
+      visited |= bit;
+      if (s & bit) {
+        stack.push_back(u);  // internal vertex inside S: keep walking
+      } else {
+        ++q;  // external vertex reached through S
+      }
+    }
+  }
+  (void)n;
+  return q;
+}
+
+// f(S) = best achievable max-width when the vertices of S are eliminated
+// first (in the best internal order). f(V) is the treewidth.
+int FValue(const Graph& g, Mask s, std::unordered_map<Mask, int>& memo) {
+  if (s == 0) return 0;
+  auto it = memo.find(s);
+  if (it != memo.end()) return it->second;
+  int best = g.num_vertices();  // upper bound: width <= n-1 always
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const Mask bit = Mask{1} << v;
+    if (!(s & bit)) continue;
+    const Mask rest = s & ~bit;
+    const int cand = std::max(FValue(g, rest, memo), QValue(g, rest, v));
+    best = std::min(best, cand);
+  }
+  memo.emplace(s, best);
+  return best;
+}
+
+}  // namespace
+
+int ExactTreewidth(const Graph& g) {
+  const int n = g.num_vertices();
+  PPR_CHECK(n <= 24);
+  if (n == 0) return -1;
+  std::unordered_map<Mask, int> memo;
+  const Mask all = (n == 32) ? ~Mask{0} : ((Mask{1} << n) - 1);
+  return FValue(g, all, memo);
+}
+
+EliminationOrder ExactOptimalOrder(const Graph& g) {
+  const int n = g.num_vertices();
+  PPR_CHECK(n <= 24);
+  EliminationOrder order(static_cast<size_t>(n));
+  if (n == 0) return order;
+  std::unordered_map<Mask, int> memo;
+  Mask s = (Mask{1} << n) - 1;
+  // Peel vertices from the end: the vertex eliminated last is the best
+  // choice at S = V, and so on down.
+  for (int pos = n - 1; pos >= 0; --pos) {
+    int best_v = -1;
+    int best_w = n + 1;
+    for (int v = 0; v < n; ++v) {
+      const Mask bit = Mask{1} << v;
+      if (!(s & bit)) continue;
+      const Mask rest = s & ~bit;
+      const int cand = std::max(FValue(g, rest, memo), QValue(g, rest, v));
+      if (cand < best_w) {
+        best_w = cand;
+        best_v = v;
+      }
+    }
+    order[static_cast<size_t>(pos)] = best_v;
+    s &= ~(Mask{1} << best_v);
+  }
+  return order;
+}
+
+int MmdLowerBound(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 0) return -1;
+  std::vector<uint8_t> removed(static_cast<size_t>(n), 0);
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n; ++v) degree[static_cast<size_t>(v)] = g.Degree(v);
+
+  int bound = 0;
+  for (int step = 0; step < n; ++step) {
+    int v = -1;
+    for (int u = 0; u < n; ++u) {
+      if (!removed[static_cast<size_t>(u)] &&
+          (v < 0 ||
+           degree[static_cast<size_t>(u)] < degree[static_cast<size_t>(v)])) {
+        v = u;
+      }
+    }
+    bound = std::max(bound, degree[static_cast<size_t>(v)]);
+    removed[static_cast<size_t>(v)] = 1;
+    for (int u : g.Neighbors(v)) {
+      if (!removed[static_cast<size_t>(u)]) --degree[static_cast<size_t>(u)];
+    }
+  }
+  return bound;
+}
+
+}  // namespace ppr

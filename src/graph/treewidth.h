@@ -1,0 +1,25 @@
+#ifndef PPR_GRAPH_TREEWIDTH_H_
+#define PPR_GRAPH_TREEWIDTH_H_
+
+#include "graph/elimination.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Exact treewidth via the Held-Karp-style dynamic program over vertex
+/// subsets (Bodlaender et al., "Treewidth computations I"). Exponential in
+/// n — intended for test oracles and the `ablation_orders` bench on graphs
+/// with n <= ~20. PPR_CHECK-fails for n > 24.
+int ExactTreewidth(const Graph& g);
+
+/// Exact treewidth plus a witnessing optimal elimination order (same DP
+/// with parent pointers).
+EliminationOrder ExactOptimalOrder(const Graph& g);
+
+/// Maximum-minimum-degree lower bound on treewidth: repeatedly delete a
+/// minimum-degree vertex; the maximum minimum degree seen is a lower bound.
+int MmdLowerBound(const Graph& g);
+
+}  // namespace ppr
+
+#endif  // PPR_GRAPH_TREEWIDTH_H_

@@ -1,0 +1,180 @@
+#include "hyper/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace ppr {
+
+Hypergraph::Hypergraph(std::vector<std::vector<AttrId>> edges)
+    : edges_(std::move(edges)) {
+  for (auto& edge : edges_) {
+    std::sort(edge.begin(), edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+  }
+}
+
+Hypergraph Hypergraph::FromQuery(const ConjunctiveQuery& query) {
+  std::vector<std::vector<AttrId>> edges;
+  edges.reserve(static_cast<size_t>(query.num_atoms()));
+  for (const Atom& atom : query.atoms()) {
+    edges.push_back(atom.DistinctAttrs());
+  }
+  return Hypergraph(std::move(edges));
+}
+
+GyoResult GyoReduction(const Hypergraph& h) {
+  const int m = h.num_edges();
+  GyoResult result;
+  result.parent.assign(static_cast<size_t>(m), -1);
+
+  // Working copies of the edges; removed edges become inactive.
+  std::vector<std::vector<AttrId>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (int e = 0; e < m; ++e) edges.push_back(h.edge(e));
+  std::vector<uint8_t> active(static_cast<size_t>(m), 1);
+  int active_count = m;
+
+  bool changed = true;
+  while (changed && active_count > 0) {
+    changed = false;
+
+    // Step 1: delete attributes occurring in exactly one active edge.
+    std::map<AttrId, int> occurrences;
+    for (int e = 0; e < m; ++e) {
+      if (!active[static_cast<size_t>(e)]) continue;
+      for (AttrId a : edges[static_cast<size_t>(e)]) occurrences[a]++;
+    }
+    for (int e = 0; e < m; ++e) {
+      if (!active[static_cast<size_t>(e)]) continue;
+      auto& edge = edges[static_cast<size_t>(e)];
+      const size_t before = edge.size();
+      edge.erase(std::remove_if(edge.begin(), edge.end(),
+                                [&](AttrId a) {
+                                  return occurrences.at(a) == 1;
+                                }),
+                 edge.end());
+      if (edge.size() != before) changed = true;
+    }
+
+    // Step 2: fold one edge per pass — an emptied edge becomes a
+    // component root; an edge contained in another folds into it.
+    for (int e = 0; e < m; ++e) {
+      if (!active[static_cast<size_t>(e)]) continue;
+      const auto& ee = edges[static_cast<size_t>(e)];
+      int target = -2;  // -2 = keep, -1 = root removal, >=0 = fold target
+      if (ee.empty()) {
+        target = -1;
+      } else {
+        for (int f = 0; f < m && target == -2; ++f) {
+          if (f == e || !active[static_cast<size_t>(f)]) continue;
+          const auto& ff = edges[static_cast<size_t>(f)];
+          if (std::includes(ff.begin(), ff.end(), ee.begin(), ee.end())) {
+            target = f;
+          }
+        }
+      }
+      if (target != -2) {
+        active[static_cast<size_t>(e)] = 0;
+        --active_count;
+        result.parent[static_cast<size_t>(e)] = target;
+        result.ear_order.push_back(e);
+        changed = true;
+        break;  // recompute occurrence counts before the next fold
+      }
+    }
+  }
+
+  result.acyclic = active_count == 0;
+  return result;
+}
+
+bool IsAcyclicQuery(const ConjunctiveQuery& query) {
+  return GyoReduction(Hypergraph::FromQuery(query)).acyclic;
+}
+
+namespace {
+
+std::vector<AttrId> SortedTarget(const ConjunctiveQuery& query) {
+  std::vector<AttrId> target = query.free_vars();
+  std::sort(target.begin(), target.end());
+  return target;
+}
+
+// Builds the join-expression node for atom `e`: its leaf joined with the
+// nodes of all atoms folded into it, projecting to what the parent atom
+// (or the target schema) still needs.
+std::unique_ptr<PlanNode> BuildAtomNode(
+    const ConjunctiveQuery& query,
+    const std::vector<std::vector<int>>& folded_into, int e, int parent) {
+  std::vector<std::unique_ptr<PlanNode>> children;
+  children.push_back(MakeLeaf(query, e));
+  for (int child : folded_into[static_cast<size_t>(e)]) {
+    children.push_back(BuildAtomNode(query, folded_into, child, e));
+  }
+
+  std::vector<AttrId> working;
+  for (const auto& c : children) {
+    working.insert(working.end(), c->projected.begin(), c->projected.end());
+  }
+  std::sort(working.begin(), working.end());
+  working.erase(std::unique(working.begin(), working.end()), working.end());
+
+  // Keep attributes of the parent atom plus free variables: the GYO join
+  // tree's connectedness property makes everything else dead here.
+  std::vector<AttrId> keep;
+  if (parent >= 0) {
+    keep = query.atoms()[static_cast<size_t>(parent)].DistinctAttrs();
+  }
+  const std::vector<AttrId>& free = query.free_vars();
+  keep.insert(keep.end(), free.begin(), free.end());
+  std::sort(keep.begin(), keep.end());
+
+  std::vector<AttrId> projected;
+  for (AttrId a : working) {
+    if (std::binary_search(keep.begin(), keep.end(), a)) {
+      projected.push_back(a);
+    }
+  }
+  return MakeJoin(std::move(children), std::move(projected));
+}
+
+}  // namespace
+
+Result<Plan> AcyclicJoinTreePlan(const ConjunctiveQuery& query) {
+  PPR_CHECK(query.num_atoms() > 0);
+  const GyoResult gyo = GyoReduction(Hypergraph::FromQuery(query));
+  if (!gyo.acyclic) {
+    return Status::InvalidArgument(
+        "query hypergraph is cyclic; use bucket elimination instead");
+  }
+
+  std::vector<std::vector<int>> folded_into(
+      static_cast<size_t>(query.num_atoms()));
+  std::vector<int> roots;
+  for (int e = 0; e < query.num_atoms(); ++e) {
+    const int p = gyo.parent[static_cast<size_t>(e)];
+    if (p < 0) {
+      roots.push_back(e);
+    } else {
+      folded_into[static_cast<size_t>(p)].push_back(e);
+    }
+  }
+  PPR_CHECK(!roots.empty());
+
+  std::vector<std::unique_ptr<PlanNode>> root_nodes;
+  for (int r : roots) {
+    root_nodes.push_back(BuildAtomNode(query, folded_into, r, -1));
+  }
+  std::vector<AttrId> target = SortedTarget(query);
+  std::unique_ptr<PlanNode> root;
+  if (root_nodes.size() == 1 && root_nodes.front()->projected == target) {
+    root = std::move(root_nodes.front());
+  } else {
+    root = MakeJoin(std::move(root_nodes), target);
+  }
+  return Plan(std::move(root));
+}
+
+}  // namespace ppr

@@ -1,0 +1,69 @@
+#ifndef PPR_HYPER_HYPERGRAPH_H_
+#define PPR_HYPER_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// The hypergraph of a query: one hyperedge per atom, holding the atom's
+/// distinct attributes. Acyclicity of this hypergraph is the classical
+/// tractability frontier the paper builds on — Yannakakis's algorithm
+/// [35] gives linear intermediate-size bounds for acyclic joins, and the
+/// Tarjan-Yannakakis reference [31] the paper uses for MCS also covers
+/// the acyclicity test implemented here.
+class Hypergraph {
+ public:
+  /// Builds from explicit hyperedges (sorted internally).
+  explicit Hypergraph(std::vector<std::vector<AttrId>> edges);
+
+  /// One hyperedge per atom of `query`.
+  static Hypergraph FromQuery(const ConjunctiveQuery& query);
+
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  /// Sorted attribute set of hyperedge `e`.
+  const std::vector<AttrId>& edge(int e) const {
+    return edges_[static_cast<size_t>(e)];
+  }
+
+ private:
+  std::vector<std::vector<AttrId>> edges_;
+};
+
+/// Result of the GYO (Graham / Yu-Ozsoyoglu) reduction.
+struct GyoResult {
+  /// True when the hypergraph is alpha-acyclic: repeated ear removal
+  /// empties it.
+  bool acyclic = false;
+  /// Edges in the order they were removed as ears (acyclic case: all of
+  /// them, component roots last).
+  std::vector<int> ear_order;
+  /// parent[e] = the edge e was folded into, or -1 for component roots.
+  std::vector<int> parent;
+};
+
+/// Runs the GYO reduction: repeatedly delete attributes private to a
+/// single edge and fold edges that became subsets of another edge,
+/// recording the fold target as the join-tree parent.
+GyoResult GyoReduction(const Hypergraph& h);
+
+/// True when the query's hypergraph is alpha-acyclic.
+bool IsAcyclicQuery(const ConjunctiveQuery& query);
+
+/// Yannakakis-style plan for an acyclic query: the GYO join tree becomes
+/// a join-expression tree whose node projections keep exactly the
+/// attributes shared with the parent (plus free variables) — so every
+/// working label is contained in the union of two atoms' schemas, the
+/// structural guarantee behind [35]'s linear intermediate bounds.
+/// Combine with SemijoinReduce (exec/semijoin_pass.h) for the full
+/// Yannakakis algorithm: after a full reduction, no intermediate result
+/// can exceed (final answer size) x (largest relation).
+/// Returns InvalidArgument for cyclic queries.
+Result<Plan> AcyclicJoinTreePlan(const ConjunctiveQuery& query);
+
+}  // namespace ppr
+
+#endif  // PPR_HYPER_HYPERGRAPH_H_

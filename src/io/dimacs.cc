@@ -1,0 +1,152 @@
+#include "io/dimacs.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppr {
+
+Result<Graph> ParseDimacsGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  int n = 0;
+  int declared_edges = 0;
+  Graph g(0);
+
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag == "c") continue;  // blank or comment
+    if (tag == "p") {
+      std::string kind;
+      if (!(ls >> kind >> n >> declared_edges) ||
+          (kind != "edge" && kind != "edges" && kind != "col")) {
+        return Status::InvalidArgument("bad problem line: " + line);
+      }
+      if (n < 0 || declared_edges < 0) {
+        return Status::InvalidArgument("negative sizes in problem line");
+      }
+      if (have_header) {
+        return Status::InvalidArgument("duplicate problem line");
+      }
+      have_header = true;
+      g = Graph(n);
+      continue;
+    }
+    if (tag == "e") {
+      if (!have_header) {
+        return Status::InvalidArgument("edge before problem line");
+      }
+      int u = 0;
+      int v = 0;
+      if (!(ls >> u >> v) || u < 1 || v < 1 || u > n || v > n) {
+        return Status::InvalidArgument("bad edge line: " + line);
+      }
+      if (u == v) return Status::InvalidArgument("self loop: " + line);
+      if (!g.AddEdge(u - 1, v - 1)) {
+        return Status::InvalidArgument("duplicate edge: " + line);
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unrecognized line: " + line);
+  }
+  if (!have_header) return Status::InvalidArgument("missing problem line");
+  if (g.num_edges() != declared_edges) {
+    return Status::InvalidArgument("edge count mismatch: declared " +
+                                   std::to_string(declared_edges) + ", got " +
+                                   std::to_string(g.num_edges()));
+  }
+  return g;
+}
+
+std::string WriteDimacsGraph(const Graph& g) {
+  std::ostringstream out;
+  out << "p edge " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.EdgesInInsertionOrder()) {
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+  }
+  return out.str();
+}
+
+Result<Cnf> ParseDimacsCnf(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  int declared_clauses = 0;
+  Cnf cnf;
+  std::vector<Literal> clause;
+
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first == "c") continue;
+    if (first == "p") {
+      std::string kind;
+      if (!(ls >> kind >> cnf.num_vars >> declared_clauses) || kind != "cnf") {
+        return Status::InvalidArgument("bad problem line: " + line);
+      }
+      if (cnf.num_vars < 0 || declared_clauses < 0) {
+        return Status::InvalidArgument("negative sizes in problem line");
+      }
+      if (have_header) {
+        return Status::InvalidArgument("duplicate problem line");
+      }
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      return Status::InvalidArgument("clause before problem line");
+    }
+    // The first token is a literal; push it back into the stream flow.
+    std::istringstream rest(line);
+    long lit = 0;
+    while (rest >> lit) {
+      if (lit == 0) {
+        if (clause.empty()) {
+          return Status::InvalidArgument("empty clause");
+        }
+        for (size_t i = 0; i < clause.size(); ++i) {
+          for (size_t j = i + 1; j < clause.size(); ++j) {
+            if (clause[i].var == clause[j].var) {
+              return Status::InvalidArgument("repeated variable in clause");
+            }
+          }
+        }
+        cnf.clauses.push_back(clause);
+        clause.clear();
+        continue;
+      }
+      const long var = lit > 0 ? lit : -lit;
+      if (var > cnf.num_vars) {
+        return Status::InvalidArgument("variable out of range: " +
+                                       std::to_string(lit));
+      }
+      clause.push_back(Literal{static_cast<int>(var - 1), lit < 0});
+    }
+  }
+  if (!have_header) return Status::InvalidArgument("missing problem line");
+  if (!clause.empty()) {
+    return Status::InvalidArgument("unterminated final clause (missing 0)");
+  }
+  if (cnf.num_clauses() != declared_clauses) {
+    return Status::InvalidArgument(
+        "clause count mismatch: declared " +
+        std::to_string(declared_clauses) + ", got " +
+        std::to_string(cnf.num_clauses()));
+  }
+  return cnf;
+}
+
+std::string WriteDimacsCnf(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << " " << cnf.num_clauses() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (const Literal& lit : clause) {
+      out << (lit.negated ? -(lit.var + 1) : (lit.var + 1)) << " ";
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace ppr

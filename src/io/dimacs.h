@@ -1,0 +1,33 @@
+#ifndef PPR_IO_DIMACS_H_
+#define PPR_IO_DIMACS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "encode/sat.h"
+#include "graph/graph.h"
+
+namespace ppr {
+
+/// Parses a graph in DIMACS COLOR format ("c ..." comments, "p edge N M",
+/// then "e U V" lines with 1-based vertices). Duplicate edges and
+/// self-loops are rejected. The edge insertion order follows the file,
+/// so the straightforward strategy evaluates instances exactly as listed
+/// (the paper's convention).
+Result<Graph> ParseDimacsGraph(const std::string& text);
+
+/// Renders a graph in DIMACS COLOR format, edges in insertion order.
+std::string WriteDimacsGraph(const Graph& g);
+
+/// Parses a CNF in DIMACS format ("c ..." comments, "p cnf N M", then
+/// whitespace-separated literals with 0 terminators; negative = negated,
+/// 1-based variables). Clauses with repeated variables are rejected (the
+/// query encoding binds one attribute per position).
+Result<Cnf> ParseDimacsCnf(const std::string& text);
+
+/// Renders a CNF in DIMACS format.
+std::string WriteDimacsCnf(const Cnf& cnf);
+
+}  // namespace ppr
+
+#endif  // PPR_IO_DIMACS_H_

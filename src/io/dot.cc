@@ -1,0 +1,79 @@
+#include "io/dot.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ppr {
+
+std::string GraphToDot(const Graph& g) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    out << "  v" << v << ";\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    out << "  v" << u << " -- v" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string TreeDecompositionToDot(const TreeDecomposition& td) {
+  std::ostringstream out;
+  out << "graph TD {\n  node [shape=box];\n";
+  for (int i = 0; i < td.num_bags(); ++i) {
+    out << "  b" << i << " [label=\"{"
+        << StrJoinFormatted(td.bags[static_cast<size_t>(i)], ", ",
+                            [](int v) { return "x" + std::to_string(v); })
+        << "}\"];\n";
+  }
+  for (const auto& [a, b] : td.edges) {
+    out << "  b" << a << " -- b" << b << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+void PlanNodeToDot(const ConjunctiveQuery& query, const PlanNode* node,
+                   int* counter, std::ostringstream& out) {
+  const int id = (*counter)++;
+  std::ostringstream label;
+  if (node->IsLeaf()) {
+    label << query.atoms()[static_cast<size_t>(node->atom_index)].ToString();
+  } else {
+    label << "join";
+  }
+  label << "\\nLw={"
+        << StrJoinFormatted(node->working, ",",
+                            [](AttrId a) { return "x" + std::to_string(a); })
+        << "}\\nLp={"
+        << StrJoinFormatted(node->projected, ",",
+                            [](AttrId a) { return "x" + std::to_string(a); })
+        << "}";
+  out << "  n" << id << " [label=\"" << label.str() << "\""
+      << (node->Projects() ? ", style=filled, fillcolor=lightblue" : "")
+      << "];\n";
+  for (const auto& child : node->children) {
+    const int child_id = *counter;
+    PlanNodeToDot(query, child.get(), counter, out);
+    out << "  n" << id << " -> n" << child_id << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string PlanToDot(const ConjunctiveQuery& query, const Plan& plan) {
+  PPR_CHECK(!plan.empty());
+  std::ostringstream out;
+  out << "digraph Plan {\n  node [shape=box];\n";
+  int counter = 0;
+  PlanNodeToDot(query, plan.root(), &counter, out);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ppr

@@ -1,0 +1,28 @@
+#ifndef PPR_IO_DOT_H_
+#define PPR_IO_DOT_H_
+
+#include <string>
+
+#include "core/plan.h"
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// Graphviz rendering of a graph (undirected, `graph { ... }`).
+std::string GraphToDot(const Graph& g);
+
+/// Graphviz rendering of a tree decomposition: one box per bag listing
+/// its attributes, tree edges between boxes.
+std::string TreeDecompositionToDot(const TreeDecomposition& td);
+
+/// Graphviz rendering of a join-expression tree: leaves show their atom,
+/// internal nodes their working/projected labels; nodes that project are
+/// highlighted. Paired with Fig.-style narration this makes the
+/// difference between the strategies visible at a glance.
+std::string PlanToDot(const ConjunctiveQuery& query, const Plan& plan);
+
+}  // namespace ppr
+
+#endif  // PPR_IO_DOT_H_

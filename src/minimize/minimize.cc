@@ -1,0 +1,124 @@
+#include "minimize/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/strategies.h"
+#include "exec/executor.h"
+
+namespace ppr {
+
+Database CanonicalDatabase(const ConjunctiveQuery& query) {
+  Database db;
+  std::map<std::string, Relation> relations;
+  for (const Atom& atom : query.atoms()) {
+    auto it = relations.find(atom.relation);
+    if (it == relations.end()) {
+      // Column attribute ids are placeholders (BindAtom rebinds them).
+      std::vector<AttrId> cols(atom.args.size());
+      for (size_t c = 0; c < cols.size(); ++c) {
+        cols[c] = static_cast<AttrId>(c);
+      }
+      it = relations.emplace(atom.relation, Relation{Schema(cols)}).first;
+    }
+    PPR_CHECK(it->second.arity() == static_cast<int>(atom.args.size()));
+    std::vector<Value> tuple(atom.args.begin(), atom.args.end());
+    it->second.AddTuple(tuple);
+  }
+  for (auto& [name, rel] : relations) {
+    rel.DeduplicateInPlace();
+    db.Put(name, std::move(rel));
+  }
+  return db;
+}
+
+namespace {
+
+bool SameFreeVarSet(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  std::vector<AttrId> fa = a.free_vars();
+  std::vector<AttrId> fb = b.free_vars();
+  std::sort(fa.begin(), fa.end());
+  std::sort(fb.begin(), fb.end());
+  return fa == fb;
+}
+
+}  // namespace
+
+Result<bool> IsContainedIn(const ConjunctiveQuery& q_sub,
+                           const ConjunctiveQuery& q_super) {
+  if (!SameFreeVarSet(q_sub, q_super)) {
+    return Status::InvalidArgument(
+        "containment requires identical target schemas");
+  }
+  const Database canonical = CanonicalDatabase(q_sub);
+  Status valid = q_super.Validate(canonical);
+  if (!valid.ok()) {
+    // q_super references a relation q_sub never uses (or with another
+    // arity): no containment mapping can exist.
+    return false;
+  }
+  Plan plan = BucketEliminationPlanMcs(q_super, nullptr);
+  ExecutionResult result = ExecutePlan(q_super, plan, canonical);
+  if (!result.status.ok()) return result.status;
+
+  if (q_super.free_vars().empty()) return result.nonempty();
+
+  // The homomorphism must fix the free variables: look for the identity
+  // tuple. The output schema lists q_super's free variables sorted.
+  const Schema& schema = result.output.schema();
+  std::vector<Value> identity(static_cast<size_t>(schema.arity()));
+  for (int c = 0; c < schema.arity(); ++c) {
+    identity[static_cast<size_t>(c)] = static_cast<Value>(schema.attr(c));
+  }
+  return result.output.ContainsTuple(identity);
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& a,
+                           const ConjunctiveQuery& b) {
+  Result<bool> ab = IsContainedIn(a, b);
+  if (!ab.ok()) return ab;
+  if (!*ab) return false;
+  return IsContainedIn(b, a);
+}
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query) {
+  std::vector<Atom> atoms = query.atoms();
+  PPR_CHECK(!atoms.empty());
+
+  bool progress = true;
+  while (progress && atoms.size() > 1) {
+    progress = false;
+    for (size_t drop = 0; drop < atoms.size(); ++drop) {
+      std::vector<Atom> reduced_atoms;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (i != drop) reduced_atoms.push_back(atoms[i]);
+      }
+      ConjunctiveQuery reduced(reduced_atoms, query.free_vars());
+      // Every free variable must keep an occurrence.
+      bool free_ok = true;
+      for (AttrId f : query.free_vars()) {
+        bool used = std::any_of(
+            reduced_atoms.begin(), reduced_atoms.end(),
+            [&](const Atom& atom) { return atom.UsesAttr(f); });
+        free_ok &= used;
+      }
+      if (!free_ok) continue;
+
+      // Removing an atom only relaxes the query (original ⊆ reduced), so
+      // equivalence holds iff reduced ⊆ original.
+      ConjunctiveQuery original(atoms, query.free_vars());
+      Result<bool> contained = IsContainedIn(reduced, original);
+      if (!contained.ok()) return contained.status();
+      if (*contained) {
+        atoms = std::move(reduced_atoms);
+        progress = true;
+        break;  // restart the scan over the smaller query
+      }
+    }
+  }
+  return ConjunctiveQuery(std::move(atoms), query.free_vars());
+}
+
+}  // namespace ppr

@@ -1,0 +1,44 @@
+#ifndef PPR_MINIMIZE_MINIMIZE_H_
+#define PPR_MINIMIZE_MINIMIZE_H_
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// The canonical database of a conjunctive query (Chandra & Merlin [8]):
+/// every attribute becomes a constant (its own id) and every atom a tuple
+/// of the relation it references. Containment and minimization reduce to
+/// evaluating queries over canonical databases — "the query itself is
+/// viewed as a database" — which is exactly the small-database/many-atoms
+/// regime this library optimizes, closing the loop the paper's Section 7
+/// points at. PPR_CHECK-fails if two atoms use one relation name with
+/// different arities.
+Database CanonicalDatabase(const ConjunctiveQuery& query);
+
+/// Chandra-Merlin containment test: q_sub is contained in q_super
+/// (every database's q_sub-answers are q_super-answers) iff q_super,
+/// evaluated over the canonical database of q_sub, yields the identity
+/// tuple on the free variables. Both queries must have the same free
+/// variable set (returns InvalidArgument otherwise). Evaluation uses
+/// bucket elimination with the MCS order — the paper's best strategy —
+/// so even 100-atom queries are checked quickly.
+Result<bool> IsContainedIn(const ConjunctiveQuery& q_sub,
+                           const ConjunctiveQuery& q_super);
+
+/// Containment in both directions.
+Result<bool> AreEquivalent(const ConjunctiveQuery& a,
+                           const ConjunctiveQuery& b);
+
+/// Computes a minimal equivalent subquery (the *core*): greedily drops
+/// atoms whose removal preserves equivalence, until no atom can be
+/// dropped. The result is unique up to isomorphism by Chandra-Merlin.
+/// Example: the Boolean 3-COLOR query of an even cycle minimizes to a
+/// single edge atom (even cycles retract to an edge); odd cycles are
+/// already cores.
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query);
+
+}  // namespace ppr
+
+#endif  // PPR_MINIMIZE_MINIMIZE_H_

@@ -1,0 +1,53 @@
+#include "optsearch/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppr {
+
+CostModel CostModel::ForQuery(const ConjunctiveQuery& query,
+                              const Database& db, double domain_size) {
+  PPR_CHECK(domain_size >= 1.0);
+  CostModel model;
+  model.domain_size_ = domain_size;
+  for (const Atom& atom : query.atoms()) {
+    Result<const Relation*> rel = db.Get(atom.relation);
+    PPR_CHECK(rel.ok());
+    model.atom_rows_.push_back(static_cast<double>((*rel)->size()));
+    std::vector<AttrId> attrs = atom.DistinctAttrs();
+    std::sort(attrs.begin(), attrs.end());
+    model.atom_attrs_.push_back(std::move(attrs));
+  }
+  return model;
+}
+
+double CostModel::LeftDeepCost(const std::vector<int>& order) const {
+  PPR_CHECK(static_cast<int>(order.size()) == num_atoms());
+  PPR_CHECK(!order.empty());
+
+  std::vector<AttrId> prefix_attrs = atom_attrs(order[0]);
+  double card = atom_rows(order[0]);
+  double cost = card;  // base scan
+  for (size_t i = 1; i < order.size(); ++i) {
+    const std::vector<AttrId>& attrs = atom_attrs(order[i]);
+    int shared = 0;
+    for (AttrId a : attrs) {
+      if (std::binary_search(prefix_attrs.begin(), prefix_attrs.end(), a)) {
+        ++shared;
+      }
+    }
+    card = card * atom_rows(order[i]) / std::pow(domain_size_, shared);
+    cost += card;
+    // Merge attrs into the sorted prefix set.
+    std::vector<AttrId> merged;
+    merged.reserve(prefix_attrs.size() + attrs.size());
+    std::set_union(prefix_attrs.begin(), prefix_attrs.end(), attrs.begin(),
+                   attrs.end(), std::back_inserter(merged));
+    prefix_attrs = std::move(merged);
+  }
+  return cost;
+}
+
+}  // namespace ppr

@@ -1,0 +1,48 @@
+#ifndef PPR_OPTSEARCH_COST_MODEL_H_
+#define PPR_OPTSEARCH_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Textbook cardinality-estimation model for join-order search, standing
+/// in for PostgreSQL's planner cost model in the Fig. 2 reproduction.
+///
+/// Every attribute is assumed uniform over a domain of `domain_size`
+/// values and independent of the others; an atom over k attributes with R
+/// rows is a predicate of selectivity R / domain^k. Joining a prefix of
+/// estimated cardinality C with an atom of R rows sharing s attributes
+/// yields C * R / domain^s.
+class CostModel {
+ public:
+  /// Builds the model from the stored relation sizes. `domain_size` is the
+  /// number of distinct values per attribute (3 for 3-COLOR, 2 for SAT).
+  static CostModel ForQuery(const ConjunctiveQuery& query, const Database& db,
+                            double domain_size);
+
+  int num_atoms() const { return static_cast<int>(atom_rows_.size()); }
+  double domain_size() const { return domain_size_; }
+  double atom_rows(int i) const { return atom_rows_[static_cast<size_t>(i)]; }
+  const std::vector<AttrId>& atom_attrs(int i) const {
+    return atom_attrs_[static_cast<size_t>(i)];
+  }
+
+  /// Estimated total cost of the left-deep join order `order` (a
+  /// permutation of atom indices): the sum of the estimated cardinalities
+  /// of all intermediate results — the quantity a cost-based planner
+  /// minimizes, and a proxy for execution time.
+  double LeftDeepCost(const std::vector<int>& order) const;
+
+ private:
+  double domain_size_ = 1.0;
+  std::vector<double> atom_rows_;
+  std::vector<std::vector<AttrId>> atom_attrs_;  // sorted distinct attrs
+};
+
+}  // namespace ppr
+
+#endif  // PPR_OPTSEARCH_COST_MODEL_H_

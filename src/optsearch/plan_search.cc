@@ -1,0 +1,286 @@
+#include "optsearch/plan_search.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace ppr {
+
+PlanSearchResult ExhaustiveDpSearch(const CostModel& model) {
+  const int m = model.num_atoms();
+  PPR_CHECK(m >= 1 && m <= 22);
+
+  // Attribute ids remapped to bit positions (at most 64 distinct attrs).
+  std::map<AttrId, int> attr_bit;
+  for (int i = 0; i < m; ++i) {
+    for (AttrId a : model.atom_attrs(i)) {
+      attr_bit.emplace(a, static_cast<int>(attr_bit.size()));
+    }
+  }
+  PPR_CHECK(attr_bit.size() <= 64);
+  std::vector<uint64_t> atom_mask(static_cast<size_t>(m), 0);
+  for (int i = 0; i < m; ++i) {
+    for (AttrId a : model.atom_attrs(i)) {
+      atom_mask[static_cast<size_t>(i)] |= uint64_t{1} << attr_bit.at(a);
+    }
+  }
+
+  WallTimer timer;
+  const size_t states = size_t{1} << m;
+  std::vector<double> cost(states, 0.0);
+  std::vector<double> card(states, 0.0);
+  std::vector<uint64_t> attrs(states, 0);
+  std::vector<int8_t> last(states, -1);
+  int64_t evaluated = 0;
+
+  for (size_t s = 1; s < states; ++s) {
+    // Cardinality of the full join of subset s (order-independent under
+    // the independence assumption): extend s minus its lowest atom.
+    const int a0 = std::countr_zero(s);
+    const size_t rest = s & (s - 1);
+    if (rest == 0) {
+      card[s] = model.atom_rows(a0);
+      attrs[s] = atom_mask[static_cast<size_t>(a0)];
+      cost[s] = card[s];
+      last[s] = static_cast<int8_t>(a0);
+      continue;
+    }
+    const int shared = std::popcount(attrs[rest] &
+                                     atom_mask[static_cast<size_t>(a0)]);
+    card[s] = card[rest] * model.atom_rows(a0) /
+              std::pow(model.domain_size(), shared);
+    attrs[s] = attrs[rest] | atom_mask[static_cast<size_t>(a0)];
+
+    // Best last atom: cost[s] = min_a cost[s \ a] + card[s].
+    double best = 0.0;
+    int best_a = -1;
+    for (size_t bits = s; bits != 0; bits &= bits - 1) {
+      const int a = std::countr_zero(bits);
+      const double c = cost[s & ~(size_t{1} << a)];
+      ++evaluated;
+      if (best_a < 0 || c < best) {
+        best = c;
+        best_a = a;
+      }
+    }
+    cost[s] = best + card[s];
+    last[s] = static_cast<int8_t>(best_a);
+  }
+
+  PlanSearchResult result;
+  result.estimated_cost = cost[states - 1];
+  result.plans_evaluated = evaluated;
+  result.order.resize(static_cast<size_t>(m));
+  size_t s = states - 1;
+  for (int pos = m - 1; pos >= 0; --pos) {
+    const int a = last[s];
+    result.order[static_cast<size_t>(pos)] = a;
+    s &= ~(size_t{1} << a);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+// Edge-recombination crossover (the GEQO operator): builds a child path
+// that prefers edges present in either parent.
+std::vector<int> EdgeRecombination(const std::vector<int>& p1,
+                                   const std::vector<int>& p2, Rng& rng) {
+  const int m = static_cast<int>(p1.size());
+  std::vector<std::vector<int>> adjacency(static_cast<size_t>(m));
+  auto add_edges = [&](const std::vector<int>& p) {
+    for (int i = 0; i < m; ++i) {
+      for (int d : {-1, 1}) {
+        const int j = i + d;
+        if (j < 0 || j >= m) continue;
+        auto& adj = adjacency[static_cast<size_t>(p[static_cast<size_t>(i)])];
+        const int v = p[static_cast<size_t>(j)];
+        if (std::find(adj.begin(), adj.end(), v) == adj.end()) {
+          adj.push_back(v);
+        }
+      }
+    }
+  };
+  add_edges(p1);
+  add_edges(p2);
+
+  std::vector<uint8_t> used(static_cast<size_t>(m), 0);
+  std::vector<int> child;
+  child.reserve(static_cast<size_t>(m));
+  int current = p1[0];
+  for (;;) {
+    child.push_back(current);
+    used[static_cast<size_t>(current)] = 1;
+    if (static_cast<int>(child.size()) == m) break;
+    // Remove `current` from all adjacency lists.
+    for (auto& adj : adjacency) {
+      adj.erase(std::remove(adj.begin(), adj.end(), current), adj.end());
+    }
+    // Next: unused neighbor with the fewest remaining neighbors.
+    const auto& adj = adjacency[static_cast<size_t>(current)];
+    int next = -1;
+    size_t best_fanout = 0;
+    std::vector<int> ties;
+    for (int v : adj) {
+      if (used[static_cast<size_t>(v)]) continue;
+      const size_t fanout = adjacency[static_cast<size_t>(v)].size();
+      if (next < 0 || fanout < best_fanout) {
+        next = v;
+        best_fanout = fanout;
+        ties.assign(1, v);
+      } else if (fanout == best_fanout) {
+        ties.push_back(v);
+      }
+    }
+    if (next < 0) {
+      // Dead end: pick a random unused atom.
+      std::vector<int> unused;
+      for (int v = 0; v < m; ++v) {
+        if (!used[static_cast<size_t>(v)]) unused.push_back(v);
+      }
+      next = unused[static_cast<size_t>(rng.NextBounded(unused.size()))];
+    } else if (ties.size() > 1) {
+      next = ties[static_cast<size_t>(rng.NextBounded(ties.size()))];
+    }
+    current = next;
+  }
+  return child;
+}
+
+}  // namespace
+
+PlanSearchResult GeqoSearch(const CostModel& model, Rng& rng) {
+  const int m = model.num_atoms();
+  PPR_CHECK(m >= 1);
+  WallTimer timer;
+  PlanSearchResult result;
+
+  const int pool_size = static_cast<int>(
+      std::clamp(std::pow(2.0, static_cast<double>(m) / 2.0), 16.0, 1024.0));
+  const int generations = pool_size;
+
+  struct Individual {
+    std::vector<int> order;
+    double cost;
+  };
+  std::vector<Individual> pool;
+  pool.reserve(static_cast<size_t>(pool_size));
+  std::vector<int> base(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) base[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < pool_size; ++i) {
+    std::vector<int> order = base;
+    rng.Shuffle(order);
+    const double cost = model.LeftDeepCost(order);
+    ++result.plans_evaluated;
+    pool.push_back(Individual{std::move(order), cost});
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.cost < b.cost;
+            });
+
+  // Steady-state GA with rank-biased parent selection (quadratic bias
+  // toward the front of the sorted pool, like GEQO's linear bias).
+  auto pick_parent = [&]() -> const Individual& {
+    const double r = rng.NextDouble();
+    const size_t idx = static_cast<size_t>(r * r * pool.size());
+    return pool[std::min(idx, pool.size() - 1)];
+  };
+  for (int gen = 0; gen < generations && m >= 2; ++gen) {
+    const std::vector<int> child =
+        EdgeRecombination(pick_parent().order, pick_parent().order, rng);
+    const double cost = model.LeftDeepCost(child);
+    ++result.plans_evaluated;
+    if (cost < pool.back().cost) {
+      // Replace the worst, keeping the pool sorted.
+      pool.pop_back();
+      auto it = std::lower_bound(pool.begin(), pool.end(), cost,
+                                 [](const Individual& ind, double c) {
+                                   return ind.cost < c;
+                                 });
+      pool.insert(it, Individual{child, cost});
+    }
+  }
+
+  result.order = pool.front().order;
+  result.estimated_cost = pool.front().cost;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+PlanSearchResult SimulatedAnnealingSearch(const CostModel& model, Rng& rng) {
+  const int m = model.num_atoms();
+  PPR_CHECK(m >= 1);
+  WallTimer timer;
+  PlanSearchResult result;
+
+  std::vector<int> current(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) current[static_cast<size_t>(i)] = i;
+  rng.Shuffle(current);
+  double current_cost = model.LeftDeepCost(current);
+  ++result.plans_evaluated;
+  std::vector<int> best = current;
+  double best_cost = current_cost;
+
+  // Effort comparable to GeqoSearch: ~2 * pool-size cost evaluations.
+  const int steps = static_cast<int>(std::clamp(
+      2.0 * std::pow(2.0, static_cast<double>(m) / 2.0), 32.0, 2048.0));
+  // Initial temperature on the order of the starting cost; geometric
+  // cooling to ~1e-3 of it by the final step.
+  double temperature = std::max(current_cost, 1.0);
+  const double cooling =
+      std::pow(1e-3, 1.0 / std::max(1, steps - 1));
+
+  for (int step = 0; step < steps && m >= 2; ++step) {
+    std::vector<int> candidate = current;
+    const size_t i = static_cast<size_t>(rng.NextBounded(candidate.size()));
+    const size_t j = static_cast<size_t>(rng.NextBounded(candidate.size()));
+    std::swap(candidate[i], candidate[j]);
+    const double cost = model.LeftDeepCost(candidate);
+    ++result.plans_evaluated;
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        rng.NextDouble() < std::exp(-delta / temperature)) {
+      current = std::move(candidate);
+      current_cost = cost;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+    temperature *= cooling;
+  }
+
+  result.order = std::move(best);
+  result.estimated_cost = best_cost;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+PlanSearchResult CostBasedPlanSearch(const CostModel& model, Rng& rng,
+                                     int geqo_threshold) {
+  if (model.num_atoms() < geqo_threshold) {
+    return ExhaustiveDpSearch(model);
+  }
+  return GeqoSearch(model, rng);
+}
+
+PlanSearchResult StraightforwardPlanning(const CostModel& model) {
+  WallTimer timer;
+  PlanSearchResult result;
+  result.order.resize(static_cast<size_t>(model.num_atoms()));
+  for (int i = 0; i < model.num_atoms(); ++i) {
+    result.order[static_cast<size_t>(i)] = i;
+  }
+  result.estimated_cost = model.LeftDeepCost(result.order);
+  result.plans_evaluated = 1;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppr

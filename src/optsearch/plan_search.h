@@ -1,0 +1,50 @@
+#ifndef PPR_OPTSEARCH_PLAN_SEARCH_H_
+#define PPR_OPTSEARCH_PLAN_SEARCH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "optsearch/cost_model.h"
+
+namespace ppr {
+
+/// Outcome of a join-order search — the "compile time" measurements of
+/// Fig. 2 come from `seconds` and `plans_evaluated`.
+struct PlanSearchResult {
+  std::vector<int> order;       // left-deep join order found
+  double estimated_cost = 0.0;  // cost-model estimate of that order
+  double seconds = 0.0;         // wall-clock planning time
+  int64_t plans_evaluated = 0;  // cost-model evaluations performed
+};
+
+/// Exhaustive System-R-style dynamic program over atom subsets for the
+/// cheapest left-deep order. Exponential: O(2^m * m) states; requires
+/// m <= 22 atoms and at most 64 distinct attributes.
+PlanSearchResult ExhaustiveDpSearch(const CostModel& model);
+
+/// GEQO-like genetic search over join orders, standing in for PostgreSQL's
+/// genetic query optimizer (the paper ran the naive queries through it):
+/// edge-recombination crossover, steady-state replacement, pool size
+/// 2^(m/2) clamped to [16, 1024], generations equal to the pool size.
+PlanSearchResult GeqoSearch(const CostModel& model, Rng& rng);
+
+/// Simulated-annealing search over left-deep join orders (Ioannidis &
+/// Wong [25], the incomplete-search alternative the paper's introduction
+/// cites): random restarts, swap-neighbourhood moves, Metropolis
+/// acceptance with geometric cooling. Comparable effort to GeqoSearch.
+PlanSearchResult SimulatedAnnealingSearch(const CostModel& model, Rng& rng);
+
+/// The planner-simulator facade mirroring PostgreSQL's policy: exhaustive
+/// DP below `geqo_threshold` relations, genetic search at or above it.
+/// This is what the *naive* translation pays on every query (Fig. 2).
+PlanSearchResult CostBasedPlanSearch(const CostModel& model, Rng& rng,
+                                     int geqo_threshold = 12);
+
+/// The planning work for the *straightforward* translation: the join
+/// order is forced by the SQL nesting, so the planner only validates it —
+/// a single cost evaluation.
+PlanSearchResult StraightforwardPlanning(const CostModel& model);
+
+}  // namespace ppr
+
+#endif  // PPR_OPTSEARCH_PLAN_SEARCH_H_

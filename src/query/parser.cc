@@ -1,0 +1,187 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <map>
+
+namespace ppr {
+
+std::string ParsedQuery::NameOf(AttrId a) const {
+  if (a >= 0 && static_cast<size_t>(a) < var_names.size()) {
+    return var_names[static_cast<size_t>(a)];
+  }
+  return "x" + std::to_string(a);
+}
+
+namespace {
+
+// Minimal recursive-descent parser over a hand-rolled tokenizer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ParsedQuery> Run() {
+    SkipSpace();
+    // Optional projection head.
+    std::vector<std::string> head;
+    bool has_head = false;
+    const size_t mark = pos_;
+    std::string word;
+    if (PeekIdentifier(&word) && word == "pi") {
+      ConsumeIdentifier();
+      SkipSpace();
+      if (!Consume('{')) {
+        // "pi" not followed by '{' is an ordinary relation name.
+        pos_ = mark;
+      }
+    }
+    if (pos_ != mark) {
+      has_head = true;
+      SkipSpace();
+      if (!Consume('}')) {
+        for (;;) {
+          std::string var;
+          if (!ConsumeIdentifierInto(&var)) {
+            return Error("expected variable name in projection head");
+          }
+          head.push_back(var);
+          SkipSpace();
+          if (Consume(',')) {
+            SkipSpace();
+            continue;
+          }
+          if (Consume('}')) break;
+          return Error("expected ',' or '}' in projection head");
+        }
+      }
+    } else {
+      pos_ = mark;
+    }
+
+    // Atom list.
+    ParsedQuery out;
+    std::map<std::string, AttrId> ids;
+    auto id_of = [&](const std::string& name) {
+      auto it = ids.find(name);
+      if (it != ids.end()) return it->second;
+      const AttrId id = static_cast<AttrId>(out.var_names.size());
+      ids.emplace(name, id);
+      out.var_names.push_back(name);
+      return id;
+    };
+
+    for (;;) {
+      SkipSpace();
+      std::string relation;
+      if (!ConsumeIdentifierInto(&relation)) {
+        return Error("expected relation name");
+      }
+      SkipSpace();
+      if (!Consume('(')) return Error("expected '(' after relation name");
+      Atom atom;
+      atom.relation = relation;
+      SkipSpace();
+      if (!Consume(')')) {
+        for (;;) {
+          std::string var;
+          if (!ConsumeIdentifierInto(&var)) {
+            return Error("expected variable name in atom");
+          }
+          atom.args.push_back(id_of(var));
+          SkipSpace();
+          if (Consume(',')) {
+            SkipSpace();
+            continue;
+          }
+          if (Consume(')')) break;
+          return Error("expected ',' or ')' in atom");
+        }
+      }
+      if (atom.args.empty()) return Error("atom needs at least one variable");
+      out.query.AddAtom(std::move(atom));
+      SkipSpace();
+      if (Consume('&') || Consume(',')) continue;
+      if (pos_ == text_.size()) break;
+      return Error("expected '&' between atoms or end of input");
+    }
+
+    // Resolve the head against the variables seen in atoms.
+    std::vector<AttrId> free_vars;
+    for (const std::string& name : head) {
+      auto it = ids.find(name);
+      if (it == ids.end()) {
+        return Status::InvalidArgument("projection variable '" + name +
+                                       "' does not occur in any atom");
+      }
+      for (AttrId existing : free_vars) {
+        if (existing == it->second) {
+          return Status::InvalidArgument("duplicate projection variable '" +
+                                         name + "'");
+        }
+      }
+      free_vars.push_back(it->second);
+    }
+    (void)has_head;
+    out.query.SetFreeVars(std::move(free_vars));
+    return out;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  bool PeekIdentifier(std::string* out) const {
+    size_t p = pos_;
+    if (p >= text_.size() || !IsIdentStart(text_[p])) return false;
+    std::string word;
+    while (p < text_.size() && IsIdentChar(text_[p])) word += text_[p++];
+    *out = word;
+    return true;
+  }
+
+  void ConsumeIdentifier() {
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+  }
+
+  bool ConsumeIdentifierInto(std::string* out) {
+    std::string word;
+    if (!PeekIdentifier(&word)) return false;
+    pos_ += word.size();
+    *out = word;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace ppr

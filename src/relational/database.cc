@@ -1,0 +1,26 @@
+#include "relational/database.h"
+
+#include <utility>
+
+namespace ppr {
+
+void Database::Put(const std::string& name, Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ppr

@@ -1,0 +1,44 @@
+#ifndef PPR_RELATIONAL_DATABASE_H_
+#define PPR_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// A named catalog of stored relations — the "very small database" of the
+/// experimental setup (e.g. the single 6-tuple `edge` relation for 3-COLOR,
+/// or one relation per clause sign-pattern for SAT).
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers `relation` under `name`, replacing any previous relation of
+  /// that name.
+  void Put(const std::string& name, Relation relation);
+
+  /// Looks up a stored relation by name.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Names of all stored relations, sorted.
+  std::vector<std::string> Names() const;
+
+  int64_t relation_count() const {
+    return static_cast<int64_t>(relations_.size());
+  }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_DATABASE_H_

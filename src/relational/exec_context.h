@@ -1,0 +1,73 @@
+#ifndef PPR_RELATIONAL_EXEC_CONTEXT_H_
+#define PPR_RELATIONAL_EXEC_CONTEXT_H_
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace ppr {
+
+/// Work counters collected while operators run. These are the
+/// machine-independent proxies for the paper's wall-clock measurements:
+/// on a fixed engine, execution time is driven by tuples produced and by
+/// the size/arity of the largest intermediate result.
+struct ExecStats {
+  /// Total tuples materialized by all operators (including duplicates
+  /// produced before DISTINCT).
+  Counter tuples_produced = 0;
+  /// Number of join operators executed.
+  Counter num_joins = 0;
+  /// Number of projection operators executed.
+  Counter num_projections = 0;
+  /// Largest arity of any operator output ("width" actually reached).
+  int max_intermediate_arity = 0;
+  /// Largest row count of any operator output.
+  Counter max_intermediate_rows = 0;
+
+  /// Records an operator output of `rows` rows with `arity` columns.
+  void NoteIntermediate(int arity, Counter rows) {
+    max_intermediate_arity = std::max(max_intermediate_arity, arity);
+    max_intermediate_rows = std::max(max_intermediate_rows, rows);
+  }
+};
+
+/// Execution context shared by the operators of one query run: statistics
+/// plus a tuple budget that bounds total work.
+///
+/// The paper's weak strategies "time out" on the harder instances
+/// (Figs. 8-9). We reproduce timeouts deterministically with a budget on
+/// tuples produced instead of a wall-clock alarm: when the budget is
+/// exhausted, operators stop producing and the executor reports
+/// RESOURCE_EXHAUSTED.
+class ExecContext {
+ public:
+  /// Creates a context with an optional budget on tuples produced.
+  explicit ExecContext(Counter tuple_budget = kCounterMax)
+      : tuple_budget_(tuple_budget) {}
+
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// True once the tuple budget has been exceeded; all subsequent operator
+  /// results are truncated and must be discarded by the caller.
+  bool exhausted() const { return exhausted_; }
+
+  Counter tuple_budget() const { return tuple_budget_; }
+
+  /// Charges `n` produced tuples against the budget. Returns false (and
+  /// latches exhausted()) when the budget is exceeded.
+  bool ChargeTuples(Counter n) {
+    stats_.tuples_produced += n;
+    if (stats_.tuples_produced > tuple_budget_) exhausted_ = true;
+    return !exhausted_;
+  }
+
+ private:
+  ExecStats stats_;
+  Counter tuple_budget_;
+  bool exhausted_ = false;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_EXEC_CONTEXT_H_

@@ -1,0 +1,218 @@
+#include "relational/ops.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+// FNV-1a over a row of values; good enough for tiny-domain keys.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Value x : v) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(x));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using RowIndexMap =
+    std::unordered_map<std::vector<Value>, std::vector<int64_t>, ValueVecHash>;
+using RowSet = std::unordered_set<std::vector<Value>, ValueVecHash>;
+
+// Extracts the values of columns `cols` from row `i` of `rel`.
+std::vector<Value> KeyOf(const Relation& rel, int64_t i,
+                         const std::vector<int>& cols) {
+  std::vector<Value> key(cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) key[c] = rel.at(i, cols[c]);
+  return key;
+}
+
+std::vector<int> ColumnIndices(const Schema& schema,
+                               const std::vector<AttrId>& attrs) {
+  std::vector<int> cols;
+  cols.reserve(attrs.size());
+  for (AttrId a : attrs) {
+    int idx = schema.IndexOf(a);
+    PPR_CHECK(idx >= 0);
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     ExecContext& ctx) {
+  ctx.stats().num_joins++;
+
+  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
+  const std::vector<int> left_key_cols = ColumnIndices(left.schema(), common);
+  const std::vector<int> right_key_cols =
+      ColumnIndices(right.schema(), common);
+
+  // Output schema: all of left's attrs, then right-only attrs.
+  std::vector<AttrId> out_attrs = left.schema().attrs();
+  const std::vector<AttrId> right_only =
+      right.schema().AttrsNotIn(left.schema());
+  out_attrs.insert(out_attrs.end(), right_only.begin(), right_only.end());
+  const std::vector<int> right_carry_cols =
+      ColumnIndices(right.schema(), right_only);
+
+  Relation out{Schema(out_attrs)};
+  if (left.empty() || right.empty()) {
+    ctx.stats().NoteIntermediate(out.arity(), 0);
+    return out;
+  }
+
+  // Build on the smaller side, probe with the larger.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_key_cols =
+      build_left ? left_key_cols : right_key_cols;
+  const std::vector<int>& probe_key_cols =
+      build_left ? right_key_cols : left_key_cols;
+
+  RowIndexMap table;
+  table.reserve(static_cast<size_t>(build.size()));
+  for (int64_t i = 0; i < build.size(); ++i) {
+    table[KeyOf(build, i, build_key_cols)].push_back(i);
+  }
+
+  std::vector<Value> tuple(static_cast<size_t>(out.arity()));
+  for (int64_t p = 0; p < probe.size() && !ctx.exhausted(); ++p) {
+    auto it = table.find(KeyOf(probe, p, probe_key_cols));
+    if (it == table.end()) continue;
+    for (int64_t b : it->second) {
+      const int64_t li = build_left ? b : p;
+      const int64_t ri = build_left ? p : b;
+      for (int c = 0; c < left.arity(); ++c) {
+        tuple[static_cast<size_t>(c)] = left.at(li, c);
+      }
+      for (size_t c = 0; c < right_carry_cols.size(); ++c) {
+        tuple[static_cast<size_t>(left.arity()) + c] =
+            right.at(ri, right_carry_cols[c]);
+      }
+      out.AddTuple(tuple);
+      if (!ctx.ChargeTuples(1)) break;
+    }
+  }
+
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+Relation Project(const Relation& input, const std::vector<AttrId>& attrs,
+                 ExecContext& ctx) {
+  ctx.stats().num_projections++;
+  const std::vector<int> cols = ColumnIndices(input.schema(), attrs);
+
+  Relation out{Schema(attrs)};
+  if (attrs.empty()) {
+    // Boolean projection: nonempty input -> the single empty tuple.
+    if (!input.empty()) {
+      out.AddTuple(std::span<const Value>{});
+      ctx.ChargeTuples(1);
+    }
+    ctx.stats().NoteIntermediate(0, out.size());
+    return out;
+  }
+
+  RowSet seen;
+  seen.reserve(static_cast<size_t>(input.size()));
+  for (int64_t i = 0; i < input.size() && !ctx.exhausted(); ++i) {
+    std::vector<Value> key = KeyOf(input, i, cols);
+    if (seen.insert(key).second) {
+      out.AddTuple(key);
+      if (!ctx.ChargeTuples(1)) break;
+    }
+  }
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+Relation SemiJoin(const Relation& left, const Relation& right,
+                  ExecContext& ctx) {
+  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
+  const std::vector<int> left_cols = ColumnIndices(left.schema(), common);
+  const std::vector<int> right_cols = ColumnIndices(right.schema(), common);
+
+  Relation out{left.schema()};
+  if (left.empty()) return out;
+  if (common.empty()) {
+    // No shared attributes: semijoin keeps everything iff right is nonempty.
+    if (right.empty()) return out;
+  }
+
+  RowSet keys;
+  keys.reserve(static_cast<size_t>(right.size()));
+  for (int64_t i = 0; i < right.size(); ++i) {
+    keys.insert(KeyOf(right, i, right_cols));
+  }
+  for (int64_t i = 0; i < left.size() && !ctx.exhausted(); ++i) {
+    if (common.empty() || keys.count(KeyOf(left, i, left_cols)) > 0) {
+      out.AddTuple(left.row(i));
+      if (!ctx.ChargeTuples(1)) break;
+    }
+  }
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+Relation BindAtom(const Relation& stored, const std::vector<AttrId>& args,
+                  ExecContext& ctx) {
+  PPR_CHECK(static_cast<int>(args.size()) == stored.arity());
+
+  // Distinct attributes in first-occurrence order, and for each stored
+  // column the output column it maps to (-1 when it is a repeat that only
+  // constrains).
+  std::vector<AttrId> distinct;
+  std::vector<int> first_col_of_distinct;  // column in `stored`
+  for (size_t c = 0; c < args.size(); ++c) {
+    bool seen = false;
+    for (AttrId d : distinct) {
+      if (d == args[c]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      distinct.push_back(args[c]);
+      first_col_of_distinct.push_back(static_cast<int>(c));
+    }
+  }
+
+  Relation out{Schema(distinct)};
+  std::vector<Value> tuple(distinct.size());
+  for (int64_t i = 0; i < stored.size() && !ctx.exhausted(); ++i) {
+    // Repeated attributes must agree with their first occurrence.
+    bool keep = true;
+    for (size_t c = 0; c < args.size() && keep; ++c) {
+      for (size_t d = 0; d < distinct.size(); ++d) {
+        if (args[c] == distinct[d] &&
+            stored.at(i, static_cast<int>(c)) !=
+                stored.at(i, first_col_of_distinct[d])) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (!keep) continue;
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      tuple[d] = stored.at(i, first_col_of_distinct[d]);
+    }
+    out.AddTuple(tuple);
+    if (!ctx.ChargeTuples(1)) break;
+  }
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+}  // namespace ppr

@@ -1,0 +1,47 @@
+#ifndef PPR_RELATIONAL_OPS_H_
+#define PPR_RELATIONAL_OPS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "relational/exec_context.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// Natural join: combines tuples of `left` and `right` that agree on all
+/// common attributes. Output schema is left's attributes followed by
+/// right-only attributes. With no common attributes this degenerates to the
+/// Cartesian product (the paper's reordering example joins ON (TRUE)).
+///
+/// Implemented as a hash join — the paper selected hash joins in PostgreSQL
+/// as "most efficient in our setting". The smaller input is the build side.
+/// Respects the tuple budget of `ctx` (output truncated once exhausted).
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     ExecContext& ctx);
+
+/// Duplicate-eliminating projection of `input` onto `attrs` (which must all
+/// be present in the input schema). Matches SQL's SELECT DISTINCT — every
+/// subquery the paper generates projects with DISTINCT. `attrs` may be
+/// empty: the result is then a nullary relation that is nonempty iff the
+/// input is (Boolean queries).
+Relation Project(const Relation& input, const std::vector<AttrId>& attrs,
+                 ExecContext& ctx);
+
+/// Semijoin: tuples of `left` that join with at least one tuple of `right`
+/// on the common attributes. Used by the Yannakakis-style pre-pass
+/// extension (the Wong-Youssefi direction discussed in Section 7).
+Relation SemiJoin(const Relation& left, const Relation& right,
+                  ExecContext& ctx);
+
+/// Instantiates a stored relation as a query atom. `args[i]` is the
+/// attribute bound to column i of `stored`; repeated attributes (e.g.
+/// edge(x, x)) select rows where those columns are equal and collapse to a
+/// single output column at the first occurrence. Output schema lists the
+/// distinct attributes in first-occurrence order.
+Relation BindAtom(const Relation& stored, const std::vector<AttrId>& args,
+                  ExecContext& ctx);
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_OPS_H_

@@ -1,0 +1,86 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace ppr {
+
+Relation::Relation(Schema schema,
+                   std::initializer_list<std::vector<Value>> rows)
+    : schema_(std::move(schema)) {
+  for (const auto& r : rows) {
+    AddTuple(std::span<const Value>(r.data(), r.size()));
+  }
+}
+
+void Relation::AddTuple(std::span<const Value> tuple) {
+  PPR_CHECK(static_cast<int>(tuple.size()) == arity());
+  if (arity() == 0) {
+    nullary_nonempty_ = true;
+    return;
+  }
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+}
+
+bool Relation::ContainsTuple(std::span<const Value> tuple) const {
+  PPR_CHECK(static_cast<int>(tuple.size()) == arity());
+  if (arity() == 0) return nullary_nonempty_;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (std::equal(tuple.begin(), tuple.end(), row(i).begin())) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<Value>> Relation::CanonicalRows() const {
+  // Column permutation that sorts attributes by id.
+  std::vector<int> cols(static_cast<size_t>(arity()));
+  std::iota(cols.begin(), cols.end(), 0);
+  std::sort(cols.begin(), cols.end(),
+            [&](int a, int b) { return schema_.attr(a) < schema_.attr(b); });
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(static_cast<size_t>(size()));
+  for (int64_t i = 0; i < size(); ++i) {
+    std::vector<Value> r(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) r[c] = at(i, cols[c]);
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+void Relation::DeduplicateInPlace() {
+  if (arity() == 0 || size() <= 1) return;
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(static_cast<size_t>(size()));
+  for (int64_t i = 0; i < size(); ++i) {
+    rows.emplace_back(row(i).begin(), row(i).end());
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  data_.clear();
+  for (const auto& r : rows) data_.insert(data_.end(), r.begin(), r.end());
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (!schema_.SameAttrSet(other.schema_)) return false;
+  if (arity() == 0) return nullary_nonempty_ == other.nullary_nonempty_;
+  return CanonicalRows() == other.CanonicalRows();
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream out;
+  out << schema_.ToString() << " [" << size() << " rows]";
+  for (int64_t i = 0; i < size(); ++i) {
+    out << "\n  (";
+    for (int c = 0; c < arity(); ++c) {
+      if (c > 0) out << ", ";
+      out << at(i, c);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace ppr

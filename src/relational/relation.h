@@ -1,0 +1,92 @@
+#ifndef PPR_RELATIONAL_RELATION_H_
+#define PPR_RELATIONAL_RELATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "relational/schema.h"
+
+namespace ppr {
+
+/// An in-memory relation: a schema plus a row-major flat tuple store.
+///
+/// This is the engine's only table representation. It is deliberately
+/// simple — the paper's databases are tiny (the `edge` relation has six
+/// tuples) and all cost comes from intermediate-result blowup, which this
+/// layout measures faithfully (row count x arity).
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation with the given schema.
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Creates a relation and bulk-loads `rows` (each of length arity).
+  Relation(Schema schema, std::initializer_list<std::vector<Value>> rows);
+
+  const Schema& schema() const { return schema_; }
+  int arity() const { return schema_.arity(); }
+  int64_t size() const {
+    return schema_.arity() == 0
+               ? (nullary_nonempty_ ? 1 : 0)
+               : static_cast<int64_t>(data_.size()) / schema_.arity();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Read-only view of row `i`.
+  std::span<const Value> row(int64_t i) const {
+    PPR_DCHECK(i >= 0 && i < size());
+    return {data_.data() + i * arity(), static_cast<size_t>(arity())};
+  }
+
+  /// Value of column `col` in row `i`.
+  Value at(int64_t i, int col) const {
+    PPR_DCHECK(col >= 0 && col < arity());
+    return data_[static_cast<size_t>(i * arity() + col)];
+  }
+
+  /// Appends a tuple; `tuple.size()` must equal the arity. For nullary
+  /// relations this marks the relation nonempty (the single empty tuple).
+  void AddTuple(std::span<const Value> tuple);
+  void AddTuple(std::initializer_list<Value> tuple) {
+    AddTuple(std::span<const Value>(tuple.begin(), tuple.size()));
+  }
+
+  /// Reserves storage for `rows` additional tuples.
+  void Reserve(int64_t rows) {
+    data_.reserve(data_.size() + static_cast<size_t>(rows * arity()));
+  }
+
+  /// True when the relation contains `tuple` (linear scan; test helper).
+  bool ContainsTuple(std::span<const Value> tuple) const;
+
+  /// Removes duplicate rows in place (order not preserved).
+  void DeduplicateInPlace();
+
+  /// Set equality: same attribute set and the same set of tuples, ignoring
+  /// column order and row order. The canonical comparison for strategy
+  /// equivalence tests.
+  bool SetEquals(const Relation& other) const;
+
+  /// Renders schema plus all rows; intended for small relations in tests
+  /// and examples.
+  std::string ToString() const;
+
+ private:
+  /// Rows sorted lexicographically after permuting columns into ascending
+  /// attribute-id order; canonical form used by SetEquals.
+  std::vector<std::vector<Value>> CanonicalRows() const;
+
+  Schema schema_;
+  std::vector<Value> data_;
+  /// Nullary relations (arity 0) carry one bit of information: whether
+  /// they contain the empty tuple. Boolean query results live here.
+  bool nullary_nonempty_ = false;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_RELATION_H_

@@ -1,0 +1,58 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppr {
+
+Schema::Schema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    for (size_t j = i + 1; j < attrs_.size(); ++j) {
+      PPR_CHECK(attrs_[i] != attrs_[j]);
+    }
+  }
+}
+
+int Schema::IndexOf(AttrId attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<AttrId> Schema::CommonAttrs(const Schema& other) const {
+  std::vector<AttrId> out;
+  for (AttrId a : attrs_) {
+    if (other.Contains(a)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<AttrId> Schema::AttrsNotIn(const Schema& other) const {
+  std::vector<AttrId> out;
+  for (AttrId a : attrs_) {
+    if (!other.Contains(a)) out.push_back(a);
+  }
+  return out;
+}
+
+bool Schema::SameAttrSet(const Schema& other) const {
+  if (arity() != other.arity()) return false;
+  return std::all_of(attrs_.begin(), attrs_.end(),
+                     [&](AttrId a) { return other.Contains(a); });
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "x" << attrs_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace ppr

@@ -1,0 +1,129 @@
+#include "relational/sort_merge.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+// Row indices of `rel` sorted lexicographically by the values of `cols`.
+std::vector<int64_t> SortedRowOrder(const Relation& rel,
+                                    const std::vector<int>& cols) {
+  std::vector<int64_t> order(static_cast<size_t>(rel.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (int c : cols) {
+      const Value va = rel.at(a, c);
+      const Value vb = rel.at(b, c);
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+// -1 / 0 / +1 comparison of the key columns of two rows from two relations.
+int CompareKeys(const Relation& left, int64_t li, const std::vector<int>& lc,
+                const Relation& right, int64_t ri,
+                const std::vector<int>& rc) {
+  for (size_t k = 0; k < lc.size(); ++k) {
+    const Value a = left.at(li, lc[k]);
+    const Value b = right.at(ri, rc[k]);
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<int> ColumnIndices(const Schema& schema,
+                               const std::vector<AttrId>& attrs) {
+  std::vector<int> cols;
+  cols.reserve(attrs.size());
+  for (AttrId a : attrs) {
+    const int idx = schema.IndexOf(a);
+    PPR_CHECK(idx >= 0);
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Relation SortMergeJoin(const Relation& left, const Relation& right,
+                       ExecContext& ctx) {
+  ctx.stats().num_joins++;
+
+  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
+  const std::vector<int> left_cols = ColumnIndices(left.schema(), common);
+  const std::vector<int> right_cols = ColumnIndices(right.schema(), common);
+
+  std::vector<AttrId> out_attrs = left.schema().attrs();
+  const std::vector<AttrId> right_only =
+      right.schema().AttrsNotIn(left.schema());
+  out_attrs.insert(out_attrs.end(), right_only.begin(), right_only.end());
+  const std::vector<int> right_carry =
+      ColumnIndices(right.schema(), right_only);
+
+  Relation out{Schema(out_attrs)};
+  if (left.empty() || right.empty()) {
+    ctx.stats().NoteIntermediate(out.arity(), 0);
+    return out;
+  }
+
+  const std::vector<int64_t> lorder = SortedRowOrder(left, left_cols);
+  const std::vector<int64_t> rorder = SortedRowOrder(right, right_cols);
+
+  std::vector<Value> tuple(static_cast<size_t>(out.arity()));
+  auto emit = [&](int64_t li, int64_t ri) {
+    for (int c = 0; c < left.arity(); ++c) {
+      tuple[static_cast<size_t>(c)] = left.at(li, c);
+    }
+    for (size_t c = 0; c < right_carry.size(); ++c) {
+      tuple[static_cast<size_t>(left.arity()) + c] =
+          right.at(ri, right_carry[c]);
+    }
+    out.AddTuple(tuple);
+    return ctx.ChargeTuples(1);
+  };
+
+  size_t l = 0;
+  size_t r = 0;
+  while (l < lorder.size() && r < rorder.size() && !ctx.exhausted()) {
+    const int cmp = CompareKeys(left, lorder[l], left_cols, right, rorder[r],
+                                right_cols);
+    if (cmp < 0) {
+      ++l;
+    } else if (cmp > 0) {
+      ++r;
+    } else {
+      // Find the full run of equal keys on both sides and emit the cross
+      // product of the two runs.
+      size_t lend = l + 1;
+      while (lend < lorder.size() &&
+             CompareKeys(left, lorder[lend], left_cols, right, rorder[r],
+                         right_cols) == 0) {
+        ++lend;
+      }
+      size_t rend = r + 1;
+      while (rend < rorder.size() &&
+             CompareKeys(left, lorder[l], left_cols, right, rorder[rend],
+                         right_cols) == 0) {
+        ++rend;
+      }
+      for (size_t i = l; i < lend && !ctx.exhausted(); ++i) {
+        for (size_t j = r; j < rend; ++j) {
+          if (!emit(lorder[i], rorder[j])) break;
+        }
+      }
+      l = lend;
+      r = rend;
+    }
+  }
+
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+}  // namespace ppr

@@ -1,0 +1,24 @@
+#ifndef PPR_RELATIONAL_SORT_MERGE_H_
+#define PPR_RELATIONAL_SORT_MERGE_H_
+
+#include "relational/exec_context.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// Sort-merge natural join: same contract as NaturalJoin (ops.h) — output
+/// schema is left's attributes followed by right-only attributes — but
+/// implemented by sorting both inputs on the shared attributes and merging
+/// matching runs.
+///
+/// The paper "selected hash joins to be the default, as hash joins proved
+/// most efficient in our setting" (Section 2); this operator exists to
+/// make that choice reproducible: the `ablation_join_algorithms` bench and
+/// the executor's JoinAlgorithm knob compare the two on identical plans.
+/// Degenerates to the Cartesian product when no attributes are shared.
+Relation SortMergeJoin(const Relation& left, const Relation& right,
+                       ExecContext& ctx);
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_SORT_MERGE_H_

@@ -1,0 +1,275 @@
+#include "sql/sql_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+std::string ColName(AttrId a) { return "v" + std::to_string(a + 1); }
+
+std::string AtomAlias(int atom_index) {
+  return "e" + std::to_string(atom_index + 1);
+}
+
+// Column list of an atom's FROM entry; a repeated attribute's later
+// occurrences get a positional suffix so every column has a unique name.
+std::vector<std::string> AtomColumnNames(const Atom& atom) {
+  std::vector<std::string> names;
+  names.reserve(atom.args.size());
+  for (size_t p = 0; p < atom.args.size(); ++p) {
+    bool repeat = false;
+    for (size_t q = 0; q < p; ++q) {
+      if (atom.args[q] == atom.args[p]) {
+        repeat = true;
+        break;
+      }
+    }
+    std::string name = ColName(atom.args[p]);
+    if (repeat) name += "_" + std::to_string(p + 1);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+// "edge e3 (v4, v5)"
+std::string AtomFromEntry(const Atom& atom, int atom_index) {
+  std::ostringstream out;
+  out << atom.relation << " " << AtomAlias(atom_index) << " (";
+  const std::vector<std::string> names = AtomColumnNames(atom);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << names[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+// Equalities binding a repeated attribute's extra columns to the first
+// occurrence, e.g. "e2.v3 = e2.v3_2".
+std::vector<std::string> RepeatConditions(const Atom& atom, int atom_index) {
+  std::vector<std::string> conds;
+  const std::vector<std::string> names = AtomColumnNames(atom);
+  for (size_t p = 0; p < atom.args.size(); ++p) {
+    for (size_t q = 0; q < p; ++q) {
+      if (atom.args[q] == atom.args[p]) {
+        conds.push_back(AtomAlias(atom_index) + "." + names[q] + " = " +
+                        AtomAlias(atom_index) + "." + names[p]);
+        break;
+      }
+    }
+  }
+  return conds;
+}
+
+}  // namespace
+
+std::string NaiveSql(const ConjunctiveQuery& query) {
+  PPR_CHECK(query.num_atoms() > 0);
+
+  // min_occur[a] = first atom (index) containing attribute a.
+  std::map<AttrId, int> min_occur;
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    for (AttrId a : query.atoms()[static_cast<size_t>(i)].DistinctAttrs()) {
+      min_occur.emplace(a, i);
+    }
+  }
+
+  std::ostringstream out;
+  out << "SELECT DISTINCT ";
+  if (query.free_vars().empty()) {
+    out << "1";
+  } else {
+    std::vector<AttrId> target = query.free_vars();
+    std::sort(target.begin(), target.end());
+    for (size_t i = 0; i < target.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << AtomAlias(min_occur.at(target[i])) << "." << ColName(target[i]);
+    }
+  }
+
+  out << "\nFROM ";
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    if (i > 0) out << ", ";
+    out << AtomFromEntry(query.atoms()[static_cast<size_t>(i)], i);
+  }
+
+  std::vector<std::string> conds;
+  for (int i = 0; i < query.num_atoms(); ++i) {
+    const Atom& atom = query.atoms()[static_cast<size_t>(i)];
+    for (AttrId a : atom.DistinctAttrs()) {
+      const int first = min_occur.at(a);
+      if (first < i) {
+        conds.push_back(AtomAlias(first) + "." + ColName(a) + " = " +
+                        AtomAlias(i) + "." + ColName(a));
+      }
+    }
+    for (std::string& c : RepeatConditions(atom, i)) {
+      conds.push_back(std::move(c));
+    }
+  }
+  if (!conds.empty()) {
+    out << "\nWHERE ";
+    for (size_t i = 0; i < conds.size(); ++i) {
+      if (i > 0) out << " AND ";
+      out << conds[i];
+    }
+  }
+  out << ";";
+  return out.str();
+}
+
+namespace {
+
+// A rendered piece of FROM-clause text plus the column references it
+// exports (attr -> "alias.vN" or "tK.vN").
+struct Term {
+  std::string sql;                       // FROM-clause text of the term
+  std::map<AttrId, std::string> column;  // exported column references
+};
+
+class PlanSqlRenderer {
+ public:
+  explicit PlanSqlRenderer(const ConjunctiveQuery& query) : query_(query) {}
+
+  std::string Render(const PlanNode* root) {
+    // The root always becomes the outer SELECT; its "subquery" is emitted
+    // without wrapping parentheses or an alias.
+    return RenderSelect(root, /*indent=*/0) + ";";
+  }
+
+ private:
+  static std::string Indent(int n) {
+    return std::string(static_cast<size_t>(n) * 2, ' ');
+  }
+
+  // Renders node as a term usable inside a parent FROM clause.
+  Term RenderTerm(const PlanNode* node, int indent) {
+    if (node->IsLeaf() && !node->Projects() &&
+        RepeatConditions(query_.atoms()[static_cast<size_t>(node->atom_index)],
+                         node->atom_index)
+            .empty()) {
+      // Plain base-table reference.
+      const Atom& atom = query_.atoms()[static_cast<size_t>(node->atom_index)];
+      Term term;
+      term.sql = AtomFromEntry(atom, node->atom_index);
+      for (AttrId a : atom.DistinctAttrs()) {
+        term.column[a] = AtomAlias(node->atom_index) + "." + ColName(a);
+      }
+      return term;
+    }
+    if (node->Projects() || node->IsLeaf()) {
+      // Subquery with its own SELECT DISTINCT.
+      const std::string alias = "t" + std::to_string(next_subquery_++);
+      Term term;
+      term.sql = "(\n" + Indent(indent + 1) +
+                 RenderSelect(node, indent + 1) + ") AS " + alias;
+      for (AttrId a : node->projected) {
+        term.column[a] = alias + "." + ColName(a);
+      }
+      return term;
+    }
+    // Non-projecting join node: parenthesized JOIN chain, exporting the
+    // columns of all children.
+    auto [sql, columns] = RenderJoin(node, indent);
+    Term term;
+    term.sql = "(" + sql + ")";
+    term.column = std::move(columns);
+    return term;
+  }
+
+  // Renders the children of `node` as "t1 JOIN t2 ON (...) JOIN ..." and
+  // returns the text plus the union of exported columns.
+  std::pair<std::string, std::map<AttrId, std::string>> RenderJoin(
+      const PlanNode* node, int indent) {
+    PPR_CHECK(!node->IsLeaf());
+    std::map<AttrId, std::string> exported;
+    std::ostringstream out;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      Term term = RenderTerm(node->children[i].get(), indent);
+      if (i == 0) {
+        out << term.sql;
+        exported = std::move(term.column);
+        continue;
+      }
+      std::vector<std::string> conds;
+      for (const auto& [attr, ref] : term.column) {
+        auto it = exported.find(attr);
+        if (it != exported.end()) {
+          conds.push_back(it->second + " = " + ref);
+        }
+      }
+      out << " JOIN " << term.sql << "\n" << Indent(indent + 1) << "ON (";
+      if (conds.empty()) {
+        out << "TRUE";
+      } else {
+        for (size_t c = 0; c < conds.size(); ++c) {
+          if (c > 0) out << " AND ";
+          out << conds[c];
+        }
+      }
+      out << ")";
+      for (auto& [attr, ref] : term.column) {
+        exported.emplace(attr, std::move(ref));
+      }
+    }
+    return {out.str(), std::move(exported)};
+  }
+
+  // Renders node as "SELECT DISTINCT <projected> FROM <children>" (plus a
+  // WHERE for repeated-attribute leaves).
+  std::string RenderSelect(const PlanNode* node, int indent) {
+    std::map<AttrId, std::string> columns;
+    std::string from;
+    std::vector<std::string> where;
+    if (node->IsLeaf()) {
+      const Atom& atom = query_.atoms()[static_cast<size_t>(node->atom_index)];
+      from = AtomFromEntry(atom, node->atom_index);
+      for (AttrId a : atom.DistinctAttrs()) {
+        columns[a] = AtomAlias(node->atom_index) + "." + ColName(a);
+      }
+      where = RepeatConditions(atom, node->atom_index);
+    } else {
+      auto [sql, exported] = RenderJoin(node, indent);
+      from = std::move(sql);
+      columns = std::move(exported);
+    }
+
+    std::ostringstream out;
+    out << "SELECT DISTINCT ";
+    if (node->projected.empty()) {
+      out << "1";
+    } else {
+      for (size_t i = 0; i < node->projected.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << columns.at(node->projected[i]);
+      }
+    }
+    out << "\n" << Indent(indent) << "FROM " << from;
+    if (!where.empty()) {
+      out << "\n" << Indent(indent) << "WHERE ";
+      for (size_t i = 0; i < where.size(); ++i) {
+        if (i > 0) out << " AND ";
+        out << where[i];
+      }
+    }
+    out << "\n" << Indent(indent);
+    return out.str();
+  }
+
+  const ConjunctiveQuery& query_;
+  int next_subquery_ = 1;
+};
+
+}  // namespace
+
+std::string PlanToSql(const ConjunctiveQuery& query, const Plan& plan) {
+  PPR_CHECK(!plan.empty());
+  PlanSqlRenderer renderer(query);
+  return renderer.Render(plan.root());
+}
+
+}  // namespace ppr

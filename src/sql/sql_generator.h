@@ -1,0 +1,35 @@
+#ifndef PPR_SQL_SQL_GENERATOR_H_
+#define PPR_SQL_SQL_GENERATOR_H_
+
+#include <string>
+
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// Renders the *naive* SQL translation of Section 3: all atoms listed in
+/// the FROM clause, every repeated variable occurrence equated to its
+/// first occurrence in the WHERE clause, projection as the outer SELECT
+/// DISTINCT. The planner is free to pick any join order — this is the
+/// query that exposed the exponential compile times of Fig. 2.
+///
+/// Attribute a is rendered as column v{a+1}; atom i as alias e{i+1}
+/// (matching the 1-based names of Appendix A).
+std::string NaiveSql(const ConjunctiveQuery& query);
+
+/// Renders an executable plan as nested SQL that *forces* the plan's
+/// project-join order, in the style of Appendix A:
+///  - join nodes become parenthesized JOIN ... ON (...) chains, so the
+///    engine evaluates them in plan order (the straightforward shape);
+///  - nodes that project become subqueries "(SELECT DISTINCT <live vars>
+///    FROM ...) AS tK" (the early-projection / reordering / bucket-
+///    elimination shapes);
+///  - children with no shared attributes are joined ON (TRUE).
+///
+/// Works for any valid plan, so one renderer covers all five strategies.
+std::string PlanToSql(const ConjunctiveQuery& query, const Plan& plan);
+
+}  // namespace ppr
+
+#endif  // PPR_SQL_SQL_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "benchlib/harness.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+TEST(MedianTest, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.0);  // lower middle
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(MedianTest, TimeoutsSortToTheTop) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(Median({inf, 1.0, 2.0}), 2.0);
+  EXPECT_TRUE(std::isinf(Median({inf, inf, 2.0})));
+}
+
+TEST(FormatSecondsTest, Formats) {
+  EXPECT_EQ(FormatSeconds(0.012345), "0.01235");
+  EXPECT_EQ(FormatSeconds(std::numeric_limits<double>::infinity()),
+            "TIMEOUT");
+}
+
+TEST(StrategyNameTest, AllNamed) {
+  for (StrategyKind kind : AllStrategies()) {
+    EXPECT_STRNE(StrategyName(kind), "?");
+  }
+  EXPECT_EQ(AllStrategies().size(), 5u);
+}
+
+TEST(RunStrategyTest, SmokeOnPentagon) {
+  Database db;
+  AddColoringRelations(3, &db);
+  ConjunctiveQuery q = PentagonQuery();
+  for (StrategyKind kind : AllStrategies()) {
+    StrategyRun run = RunStrategy(kind, q, db, kCounterMax, /*seed=*/1);
+    EXPECT_FALSE(run.timed_out) << StrategyName(kind);
+    EXPECT_TRUE(run.nonempty) << StrategyName(kind);
+    EXPECT_GT(run.tuples_produced, 0);
+    EXPECT_GT(run.plan_width, 0);
+    EXPECT_GE(run.exec_seconds, 0.0);
+  }
+}
+
+TEST(RunStrategyTest, TimeoutReported) {
+  Database db;
+  AddColoringRelations(3, &db);
+  ConjunctiveQuery q = KColorQuery(AugmentedCircularLadder(4));
+  StrategyRun run = RunStrategy(StrategyKind::kStraightforward, q, db,
+                                /*tuple_budget=*/500, /*seed=*/1);
+  EXPECT_TRUE(run.timed_out);
+}
+
+TEST(RunStrategyTest, SameSeedSamePlanWidth) {
+  Database db;
+  AddColoringRelations(3, &db);
+  Rng rng(42);
+  ConjunctiveQuery q = KColorQuery(RandomGraph(10, 20, rng));
+  StrategyRun a = RunStrategy(StrategyKind::kBucketElimination, q, db,
+                              kCounterMax, 7);
+  StrategyRun b = RunStrategy(StrategyKind::kBucketElimination, q, db,
+                              kCounterMax, 7);
+  EXPECT_EQ(a.plan_width, b.plan_width);
+  EXPECT_EQ(a.tuples_produced, b.tuples_produced);
+}
+
+TEST(SeriesTableTest, PrintsAlignedRows) {
+  SeriesTable table("density", {"straightforward", "bucket"});
+  table.AddRow("0.5", {"0.001", "0.0005"});
+  table.AddRow("8", {"TIMEOUT", "0.25"});
+  ::testing::internal::CaptureStdout();
+  table.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("density"), std::string::npos);
+  EXPECT_NE(out.find("straightforward"), std::string::npos);
+  EXPECT_NE(out.find("TIMEOUT"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "csp/csp.h"
+#include "encode/kcolor.h"
+#include "encode/reference.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+TEST(CspTest, ValidateCatchesMalformedProblems) {
+  Csp csp;
+  csp.domains = {{1, 2}, {1, 2}};
+  EXPECT_TRUE(csp.Validate().ok());
+
+  csp.constraints.push_back(Constraint{{0, 5}, Relation{Schema({0, 5})}});
+  EXPECT_FALSE(csp.Validate().ok());  // variable 5 out of range
+
+  csp.constraints.back() = Constraint{{0, 0}, Relation{Schema({0, 1})}};
+  EXPECT_FALSE(csp.Validate().ok());  // repeated scope variable
+
+  csp.constraints.back() = Constraint{{0, 1}, Relation{Schema({0})}};
+  EXPECT_FALSE(csp.Validate().ok());  // arity mismatch
+}
+
+TEST(CspTest, IsSolutionChecksConstraintsAndDomains) {
+  Csp csp = ColoringCsp(Cycle(3), 3);
+  EXPECT_TRUE(csp.IsSolution({1, 2, 3}));
+  EXPECT_FALSE(csp.IsSolution({1, 1, 2}));  // monochromatic edge
+  EXPECT_FALSE(csp.IsSolution({1, 2, 9}));  // out of domain
+}
+
+TEST(ColoringCspTest, MatchesReferenceSolver) {
+  for (auto make : {+[] { return Cycle(5); }, +[] { return Complete(4); },
+                    +[] { return Ladder(4); }}) {
+    Graph g = make();
+    Csp csp = ColoringCsp(g, 3);
+    ASSERT_TRUE(csp.Validate().ok());
+    const auto solution = SolveCsp(csp);
+    EXPECT_EQ(solution.has_value(), IsKColorable(g, 3)) << g.ToString();
+    if (solution) {
+      EXPECT_TRUE(csp.IsSolution(*solution));
+    }
+  }
+}
+
+TEST(CnfCspTest, MatchesDpll) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Cnf cnf = RandomKSat(6, rng.NextInt(4, 20), 3, rng);
+    Csp csp = CnfCsp(cnf);
+    ASSERT_TRUE(csp.Validate().ok());
+    const auto solution = SolveCsp(csp);
+    EXPECT_EQ(solution.has_value(), IsSatisfiable(cnf)) << cnf.ToString();
+    if (solution) {
+      EXPECT_TRUE(csp.IsSolution(*solution));
+    }
+  }
+}
+
+TEST(CspToQueryTest, QueryNonemptinessEqualsSolvability) {
+  Rng rng(7);
+  for (int i = 0; i < 8; ++i) {
+    const int n = rng.NextInt(5, 9);
+    Graph g = ConnectedRandomGraph(n, rng.NextInt(n, 2 * n), rng);
+    Csp csp = ColoringCsp(g, 3);
+    CspAsQuery as_query = CspToQuery(csp);
+    ASSERT_TRUE(as_query.query.Validate(as_query.db).ok());
+
+    ExecutionResult r = ExecutePlan(
+        as_query.query, BucketEliminationPlanMcs(as_query.query, &rng),
+        as_query.db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.nonempty(), SolveCsp(csp).has_value()) << g.ToString();
+  }
+}
+
+TEST(QueryToCspTest, RoundTripPreservesSolvability) {
+  Database db;
+  AddColoringRelations(3, &db);
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    const int n = rng.NextInt(5, 9);
+    Graph g = ConnectedRandomGraph(n, rng.NextInt(n, 2 * n), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+
+    Result<Csp> csp = QueryToCsp(q, db);
+    ASSERT_TRUE(csp.ok());
+    ASSERT_TRUE(csp->Validate().ok());
+    EXPECT_EQ(SolveCsp(*csp).has_value(), IsKColorable(g, 3));
+    // Domains learned from the edge relation are the three colors.
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (g.Degree(v) > 0) {
+        EXPECT_EQ(csp->domains[static_cast<size_t>(v)].size(), 3u);
+      }
+    }
+  }
+}
+
+TEST(QueryToCspTest, RejectsInvalidQuery) {
+  Database db;
+  ConjunctiveQuery q({Atom{"missing", {0}}}, {0});
+  EXPECT_FALSE(QueryToCsp(q, db).ok());
+}
+
+TEST(QueryToCspTest, RepeatedAttrBecomesUnaryConstraint) {
+  Database db;
+  db.Put("r", Relation{Schema({0, 1}), {{1, 1}, {1, 2}}});
+  ConjunctiveQuery q({Atom{"r", {5, 5}}}, {5});
+  Result<Csp> csp = QueryToCsp(q, db);
+  ASSERT_TRUE(csp.ok());
+  ASSERT_EQ(csp->constraints.size(), 1u);
+  EXPECT_EQ(csp->constraints[0].scope, (std::vector<int>{5}));
+  EXPECT_EQ(csp->constraints[0].allowed.size(), 1);  // only (1,1) survives
+}
+
+TEST(SolveCspTest, EmptyDomainMeansUnsolvable) {
+  Csp csp;
+  csp.domains = {{}};
+  csp.constraints.push_back(
+      Constraint{{0}, Relation{Schema({0}), {{1}}}});
+  EXPECT_FALSE(SolveCsp(csp).has_value());
+}
+
+TEST(SolveCspTest, UnconstrainedVariablesGetAnyDomainValue) {
+  Csp csp;
+  csp.domains = {{7}, {1, 2}};
+  const auto solution = SolveCsp(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 7);
+}
+
+class CspEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CspEquivalenceTest, FourDecisionProceduresAgree) {
+  // Backtracking CSP search, DPLL, the query engine on the CSP-derived
+  // database, and the query engine on the SAT encoding must agree.
+  Rng rng(GetParam());
+  const int vars = rng.NextInt(4, 8);
+  Cnf cnf = RandomKSat(vars, rng.NextInt(2, 4 * vars), 3, rng);
+
+  const bool dpll = IsSatisfiable(cnf);
+  const bool csp_search = SolveCsp(CnfCsp(cnf)).has_value();
+
+  CspAsQuery as_query = CspToQuery(CnfCsp(cnf));
+  ExecutionResult via_csp_query = ExecutePlan(
+      as_query.query, BucketEliminationPlanMcs(as_query.query, &rng),
+      as_query.db);
+  ASSERT_TRUE(via_csp_query.status.ok());
+
+  Database sat_db;
+  AddSatRelations(3, &sat_db);
+  ConjunctiveQuery sq = SatQuery(cnf);
+  ExecutionResult via_sat_query =
+      ExecutePlan(sq, BucketEliminationPlanMcs(sq, &rng), sat_db);
+  ASSERT_TRUE(via_sat_query.status.ok());
+
+  EXPECT_EQ(csp_search, dpll) << cnf.ToString();
+  EXPECT_EQ(via_csp_query.nonempty(), dpll) << cnf.ToString();
+  EXPECT_EQ(via_sat_query.nonempty(), dpll) << cnf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+bool IsPermutation(const std::vector<int>& v, int n) {
+  if (static_cast<int>(v.size()) != n) return false;
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) {
+    if (sorted[static_cast<size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+TEST(McsTest, NumberingIsPermutation) {
+  Graph g = Cycle(7);
+  EXPECT_TRUE(IsPermutation(MaxCardinalityNumbering(g, {}, nullptr), 7));
+}
+
+TEST(McsTest, InitialVerticesComeFirst) {
+  Graph g = Ladder(4);
+  std::vector<int> numbering = MaxCardinalityNumbering(g, {5, 2}, nullptr);
+  EXPECT_EQ(numbering[0], 5);
+  EXPECT_EQ(numbering[1], 2);
+}
+
+TEST(McsTest, GreedyPicksMaxAdjacency) {
+  // Star: after numbering the center, every leaf has weight 1; after
+  // numbering a leaf first, the center must be next.
+  Graph g(5);
+  for (int i = 1; i < 5; ++i) g.AddEdge(0, i);
+  std::vector<int> numbering = MaxCardinalityNumbering(g, {1}, nullptr);
+  EXPECT_EQ(numbering[0], 1);
+  EXPECT_EQ(numbering[1], 0);  // only vertex adjacent to a numbered one
+}
+
+TEST(McsTest, RandomTieBreakStillPermutation) {
+  Rng rng(5);
+  Graph g = Complete(6);  // all ties
+  EXPECT_TRUE(IsPermutation(MaxCardinalityNumbering(g, {}, &rng), 6));
+}
+
+TEST(McsTest, EliminationOrderIsReversedNumbering) {
+  Graph g = AugmentedPath(4);
+  std::vector<int> numbering = MaxCardinalityNumbering(g, {3}, nullptr);
+  EliminationOrder order = McsEliminationOrder(g, {3}, nullptr);
+  std::reverse(numbering.begin(), numbering.end());
+  EXPECT_EQ(order, numbering);
+  EXPECT_EQ(order.back(), 3);  // keep_last vertex eliminated last
+}
+
+TEST(GreedyOrderTest, MinDegreeIsPermutationAndDefersKeepLast) {
+  Graph g = Ladder(5);
+  EliminationOrder order = MinDegreeOrder(g, {0, 9});
+  EXPECT_TRUE(IsPermutation(order, 10));
+  // The two keep_last vertices occupy the final two slots.
+  std::vector<int> tail = {order[8], order[9]};
+  std::sort(tail.begin(), tail.end());
+  EXPECT_EQ(tail, (std::vector<int>{0, 9}));
+}
+
+TEST(GreedyOrderTest, MinFillIsPermutation) {
+  Rng rng(7);
+  Graph g = RandomGraph(12, 24, rng);
+  EXPECT_TRUE(IsPermutation(MinFillOrder(g, {}), 12));
+}
+
+TEST(GreedyOrderTest, MinFillZeroOnChordal) {
+  // A chordal graph has a zero-fill order; min-fill must find width equal
+  // to the largest clique minus one. Build two triangles sharing an edge.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(InducedWidth(g, MinFillOrder(g, {})), 2);
+}
+
+TEST(InducedWidthTest, KnownGraphs) {
+  // Path: eliminating from one end never touches more than 1 neighbor.
+  Graph path(5);
+  for (int i = 0; i < 4; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(InducedWidth(path, {0, 1, 2, 3, 4}), 1);
+
+  // Cycle: any order gives width 2.
+  Graph cyc = Cycle(6);
+  EXPECT_EQ(InducedWidth(cyc, {0, 1, 2, 3, 4, 5}), 2);
+
+  // Complete graph: always n-1.
+  Graph k = Complete(5);
+  EXPECT_EQ(InducedWidth(k, {0, 1, 2, 3, 4}), 4);
+}
+
+TEST(InducedWidthTest, BadOrderIsWorse) {
+  // Star eliminated center-first has width n-1; leaves-first has width 1.
+  Graph g(6);
+  for (int i = 1; i < 6; ++i) g.AddEdge(0, i);
+  EXPECT_EQ(InducedWidth(g, {0, 1, 2, 3, 4, 5}), 5);
+  EXPECT_EQ(InducedWidth(g, {1, 2, 3, 4, 5, 0}), 1);
+}
+
+TEST(InducedWidthTest, HeuristicOrdersOnLadder) {
+  // Ladders have treewidth 2. Min-fill realizes it; MCS does not always
+  // (the paper's Fig. 7 shows the MCS-driven methods struggling on
+  // ladders), but it can never go below the treewidth.
+  for (int order : {2, 4, 8}) {
+    Graph g = Ladder(order);
+    EXPECT_EQ(InducedWidth(g, MinFillOrder(g, {})), 2)
+        << "ladder order " << order;
+    EXPECT_GE(InducedWidth(g, McsEliminationOrder(g, {}, nullptr)), 2)
+        << "ladder order " << order;
+  }
+}
+
+TEST(ChordalTest, RecognizesChordalGraphs) {
+  EXPECT_TRUE(IsChordal(Complete(5)));
+  EXPECT_TRUE(IsChordal(Graph(4)));  // edgeless
+  Graph tree = AugmentedPath(4);
+  EXPECT_TRUE(IsChordal(tree));  // trees are chordal
+
+  EXPECT_FALSE(IsChordal(Cycle(4)));
+  EXPECT_FALSE(IsChordal(Cycle(6)));
+  EXPECT_FALSE(IsChordal(Ladder(3)));  // contains an induced C4
+}
+
+TEST(ChordalTest, TriangulatedCycleIsChordal) {
+  Graph g = Cycle(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_TRUE(IsChordal(g));
+}
+
+}  // namespace
+}  // namespace ppr

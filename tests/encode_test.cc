@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "encode/reference.h"
+#include "encode/sat.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+TEST(ColoringRelationTest, ThreeColorEdgeRelationHasSixTuples) {
+  Relation edge = ColoringEdgeRelation(3);
+  EXPECT_EQ(edge.arity(), 2);
+  EXPECT_EQ(edge.size(), 6);  // "a single binary relation with six tuples"
+  for (int64_t i = 0; i < edge.size(); ++i) {
+    EXPECT_NE(edge.at(i, 0), edge.at(i, 1));  // no monochromatic edges
+    EXPECT_GE(edge.at(i, 0), 1);
+    EXPECT_LE(edge.at(i, 0), 3);
+  }
+}
+
+TEST(ColoringRelationTest, GeneralK) {
+  EXPECT_EQ(ColoringEdgeRelation(2).size(), 2);
+  EXPECT_EQ(ColoringEdgeRelation(4).size(), 12);
+  EXPECT_TRUE(ColoringEdgeRelation(1).empty());
+}
+
+TEST(KColorQueryTest, OneAtomPerEdge) {
+  Graph g = Cycle(5);
+  ConjunctiveQuery q = KColorQuery(g);
+  EXPECT_EQ(q.num_atoms(), 5);
+  for (const Atom& atom : q.atoms()) {
+    EXPECT_EQ(atom.relation, "edge");
+    EXPECT_EQ(atom.args.size(), 2u);
+  }
+  // Boolean emulation: one free var, the first vertex of the first atom.
+  ASSERT_EQ(q.free_vars().size(), 1u);
+  EXPECT_EQ(q.free_vars()[0], q.atoms().front().args.front());
+}
+
+TEST(KColorQueryTest, NonBooleanPicksRequestedFraction) {
+  Rng rng(3);
+  Graph g = Ladder(10);  // 20 vertices, all used
+  ConjunctiveQuery q = KColorQueryNonBoolean(g, 0.2, rng);
+  EXPECT_EQ(q.free_vars().size(), 4u);  // 20% of 20
+  for (AttrId v : q.free_vars()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(KColorQueryTest, NonBooleanAtLeastOneFreeVar) {
+  Rng rng(4);
+  Graph g = Cycle(3);
+  ConjunctiveQuery q = KColorQueryNonBoolean(g, 0.05, rng);
+  EXPECT_EQ(q.free_vars().size(), 1u);
+}
+
+TEST(PentagonTest, MatchesAppendixA) {
+  ConjunctiveQuery q = PentagonQuery();
+  ASSERT_EQ(q.num_atoms(), 5);
+  EXPECT_EQ(q.atoms()[0].args, (std::vector<AttrId>{0, 1}));
+  EXPECT_EQ(q.atoms()[1].args, (std::vector<AttrId>{0, 4}));
+  EXPECT_EQ(q.atoms()[2].args, (std::vector<AttrId>{3, 4}));
+  EXPECT_EQ(q.atoms()[3].args, (std::vector<AttrId>{2, 3}));
+  EXPECT_EQ(q.atoms()[4].args, (std::vector<AttrId>{1, 2}));
+  EXPECT_EQ(q.free_vars(), (std::vector<AttrId>{0}));
+}
+
+TEST(SatRelationTest, EachRelationExcludesOneRow) {
+  Database db;
+  AddSatRelations(3, &db);
+  EXPECT_EQ(db.relation_count(), 8);
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    Result<const Relation*> r = db.Get(SatRelationName(3, mask));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->size(), 7);
+    // The excluded row assigns each literal false: bit i of mask gives the
+    // value that *falsifies* position i.
+    std::vector<Value> falsifying = {static_cast<Value>(mask & 1),
+                                     static_cast<Value>((mask >> 1) & 1),
+                                     static_cast<Value>((mask >> 2) & 1)};
+    EXPECT_FALSE((*r)->ContainsTuple(falsifying)) << "mask " << mask;
+  }
+}
+
+TEST(SatRelationTest, TwoSat) {
+  Database db;
+  AddSatRelations(2, &db);
+  EXPECT_EQ(db.relation_count(), 4);
+  for (unsigned mask = 0; mask < 4; ++mask) {
+    EXPECT_EQ((*db.Get(SatRelationName(2, mask)))->size(), 3);
+  }
+}
+
+TEST(RandomKSatTest, ShapeAndDistinctVars) {
+  Rng rng(9);
+  Cnf cnf = RandomKSat(10, 42, 3, rng);
+  EXPECT_EQ(cnf.num_vars, 10);
+  EXPECT_EQ(cnf.num_clauses(), 42);
+  EXPECT_NEAR(cnf.Density(), 4.2, 1e-9);
+  for (const auto& clause : cnf.clauses) {
+    ASSERT_EQ(clause.size(), 3u);
+    std::set<int> vars;
+    for (const Literal& lit : clause) {
+      EXPECT_GE(lit.var, 0);
+      EXPECT_LT(lit.var, 10);
+      vars.insert(lit.var);
+    }
+    EXPECT_EQ(vars.size(), 3u);  // distinct variables within a clause
+  }
+}
+
+TEST(SatQueryTest, OneAtomPerClause) {
+  Rng rng(10);
+  Cnf cnf = RandomKSat(6, 12, 3, rng);
+  ConjunctiveQuery q = SatQuery(cnf);
+  EXPECT_EQ(q.num_atoms(), 12);
+  EXPECT_EQ(q.free_vars().size(), 1u);
+  for (int c = 0; c < 12; ++c) {
+    const Atom& atom = q.atoms()[static_cast<size_t>(c)];
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(atom.args[i], cnf.clauses[static_cast<size_t>(c)][i].var);
+    }
+  }
+}
+
+TEST(CnfToStringTest, RendersLiterals) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{Literal{0, false}, Literal{1, true}}};
+  EXPECT_EQ(cnf.ToString(), "(x0 | !x1)");
+}
+
+TEST(ReferenceColoringTest, KnownInstances) {
+  EXPECT_TRUE(IsKColorable(Cycle(5), 3));   // odd cycle: 3-colorable
+  EXPECT_FALSE(IsKColorable(Cycle(5), 2));  // but not 2-colorable
+  EXPECT_TRUE(IsKColorable(Cycle(6), 2));   // even cycle: bipartite
+  EXPECT_FALSE(IsKColorable(Complete(4), 3));
+  EXPECT_TRUE(IsKColorable(Complete(4), 4));
+  EXPECT_TRUE(IsKColorable(Ladder(6), 2));
+  EXPECT_TRUE(IsKColorable(AugmentedCircularLadder(4), 3));
+}
+
+TEST(ReferenceSatTest, KnownInstances) {
+  // (x0) & (!x0) is unsatisfiable — encode as 1-SAT clauses.
+  Cnf unsat;
+  unsat.num_vars = 1;
+  unsat.clauses = {{Literal{0, false}}, {Literal{0, true}}};
+  EXPECT_FALSE(IsSatisfiable(unsat));
+
+  Cnf sat;
+  sat.num_vars = 2;
+  sat.clauses = {{Literal{0, false}, Literal{1, false}},
+                 {Literal{0, true}, Literal{1, false}}};
+  EXPECT_TRUE(IsSatisfiable(sat));
+
+  Cnf empty;
+  empty.num_vars = 3;
+  EXPECT_TRUE(IsSatisfiable(empty));
+}
+
+TEST(ReferenceSatTest, PigeonholeStyleUnsat) {
+  // All 8 sign patterns over the same 3 variables: no assignment survives.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    std::vector<Literal> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(Literal{i, (mask >> i & 1u) != 0});
+    }
+    cnf.clauses.push_back(clause);
+  }
+  EXPECT_FALSE(IsSatisfiable(cnf));
+}
+
+}  // namespace
+}  // namespace ppr

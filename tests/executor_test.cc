@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "encode/reference.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+
+namespace ppr {
+namespace {
+
+Database ThreeColorDb() {
+  Database db;
+  AddColoringRelations(3, &db);
+  return db;
+}
+
+TEST(ExecutorTest, PentagonIsThreeColorable) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult r = ExecuteStraightforward(q, db);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.nonempty());
+  // The free variable can take any of the three colors.
+  EXPECT_EQ(r.output.size(), 3);
+  EXPECT_EQ(r.output.arity(), 1);
+}
+
+TEST(ExecutorTest, CompleteFourIsNotThreeColorable) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(Complete(4));
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, /*seed=*/1);
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok()) << StrategyName(kind);
+    EXPECT_FALSE(r.nonempty()) << StrategyName(kind);
+  }
+}
+
+TEST(ExecutorTest, AllStrategiesAgreeOnPentagon) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult reference = ExecuteStraightforward(q, db);
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, /*seed=*/2);
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.output.SetEquals(reference.output)) << StrategyName(kind);
+  }
+}
+
+TEST(ExecutorTest, NonBooleanOutputsMatchAcrossStrategies) {
+  Database db = ThreeColorDb();
+  Rng rng(33);
+  ConjunctiveQuery q = KColorQueryNonBoolean(Ladder(4), 0.25, rng);
+  ExecutionResult reference = ExecuteStraightforward(q, db);
+  ASSERT_TRUE(reference.status.ok());
+  EXPECT_EQ(reference.output.arity(),
+            static_cast<int>(q.free_vars().size()));
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, /*seed=*/3);
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.output.SetEquals(reference.output)) << StrategyName(kind);
+  }
+}
+
+TEST(ExecutorTest, RuntimeArityNeverExceedsStaticWidth) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(AugmentedLadder(3));
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, /*seed=*/4);
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_LE(r.stats.max_intermediate_arity, plan.Width())
+        << StrategyName(kind);
+    EXPECT_GT(r.stats.num_joins, 0);
+  }
+}
+
+TEST(ExecutorTest, BudgetExhaustionReportsResourceExhausted) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(AugmentedCircularLadder(4));
+  Plan plan = StraightforwardPlan(q);
+  ExecutionResult r = ExecutePlan(q, plan, db, /*tuple_budget=*/1000);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutorTest, GenerousBudgetSucceeds) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult r =
+      ExecutePlan(q, EarlyProjectionPlan(q), db, /*tuple_budget=*/100000);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(ExecutorTest, MissingRelationFailsCleanly) {
+  Database db;  // no relations stored
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult r = ExecutePlan(q, StraightforwardPlan(q), db);
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, EmptyPlanIsInvalid) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan;
+  ExecutionResult r = ExecutePlan(q, plan, db);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, TwoColoringDistinguishesParity) {
+  Database db;
+  AddColoringRelations(2, &db);
+  // Even cycle: 2-colorable; odd cycle: not.
+  ExecutionResult even =
+      ExecuteStraightforward(KColorQuery(Cycle(6)), db);
+  ExecutionResult odd = ExecuteStraightforward(KColorQuery(Cycle(5)), db);
+  ASSERT_TRUE(even.status.ok());
+  ASSERT_TRUE(odd.status.ok());
+  EXPECT_TRUE(even.nonempty());
+  EXPECT_FALSE(odd.nonempty());
+}
+
+TEST(ExecutorTest, MatchesReferenceSolverOnStructuredFamilies) {
+  Database db = ThreeColorDb();
+  for (int order : {3, 4, 5}) {
+    for (const Graph& g : {AugmentedPath(order), Ladder(order),
+                           AugmentedLadder(order),
+                           AugmentedCircularLadder(order)}) {
+      ConjunctiveQuery q = KColorQuery(g);
+      ExecutionResult r =
+          ExecutePlan(q, BucketEliminationPlanMcs(q, nullptr), db);
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.nonempty(), IsKColorable(g, 3)) << g.ToString();
+    }
+  }
+}
+
+TEST(ExecutorTest, StatsAccumulateAcrossOperators) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult r = ExecutePlan(q, EarlyProjectionPlan(q), db);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.stats.tuples_produced, 0);
+  EXPECT_GT(r.stats.num_projections, 0);
+  EXPECT_EQ(r.stats.num_joins, 4);  // 5 atoms, left-deep
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ppr

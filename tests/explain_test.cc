@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "benchlib/harness.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "exec/explain.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+Database ThreeColorDb() {
+  Database db;
+  AddColoringRelations(3, &db);
+  return db;
+}
+
+TEST(ExplainTest, LeafEstimatesAreExact) {
+  // A single bound atom: 6 rows estimated and actual.
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0, 1});
+  ExplainResult r = ExplainPlan(q, StraightforwardPlan(q), db, 3.0);
+  ASSERT_TRUE(r.status.ok());
+  // Root (projection to {0,1}) + leaf.
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.nodes[1].label, "edge(x0, x1)");
+  EXPECT_EQ(r.nodes[1].actual_rows, 6);
+  EXPECT_DOUBLE_EQ(r.nodes[1].estimated_rows, 6.0);
+}
+
+TEST(ExplainTest, PentagonProfileMatchesDirectExecution) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = BucketEliminationPlanMcs(q, nullptr);
+  ExplainResult r = ExplainPlan(q, plan, db, 3.0);
+  ASSERT_TRUE(r.status.ok());
+
+  ExecutionResult direct = ExecutePlan(q, plan, db);
+  ASSERT_TRUE(direct.status.ok());
+  // The root profile's actual rows equal the query answer size.
+  EXPECT_EQ(r.nodes.front().actual_rows, direct.output.size());
+  EXPECT_EQ(r.nodes.front().depth, 0);
+  // One profile per plan node.
+  EXPECT_EQ(r.nodes.size(), static_cast<size_t>(plan.NumNodes()));
+}
+
+TEST(ExplainTest, ToStringRendersTree) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExplainResult r = ExplainPlan(q, EarlyProjectionPlan(q), db, 3.0);
+  ASSERT_TRUE(r.status.ok());
+  const std::string text = r.ToString();
+  EXPECT_NE(text.find("edge(x0, x1)"), std::string::npos);
+  EXPECT_NE(text.find("est="), std::string::npos);
+  EXPECT_NE(text.find("actual="), std::string::npos);
+}
+
+TEST(ExplainTest, EstimatesDriftOnCorrelatedQueries) {
+  // The motivation for structural optimization: on correlated constraint
+  // patterns (an uncolorable clique) the independence estimate is off by
+  // a large factor — the true result is empty while the model predicts
+  // rows.
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(Complete(5));
+  ExplainResult r = ExplainPlan(q, StraightforwardPlan(q), db, 3.0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.nodes.front().actual_rows, 0);  // K5 is not 3-colorable
+  EXPECT_GE(r.WorstEstimateRatio(), 5.0);
+}
+
+TEST(ExplainTest, WorstRatioIsOneWhenExact) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0, 1});
+  ExplainResult r = ExplainPlan(q, StraightforwardPlan(q), db, 3.0);
+  EXPECT_DOUBLE_EQ(r.WorstEstimateRatio(), 1.0);
+}
+
+TEST(ExplainTest, BudgetExhaustionReported) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(AugmentedCircularLadder(5));
+  ExplainResult r = ExplainPlan(q, StraightforwardPlan(q), db, 3.0,
+                                /*tuple_budget=*/500);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExplainTest, InvalidInputsRejected) {
+  Database db;
+  ConjunctiveQuery q = PentagonQuery();
+  ExplainResult r = ExplainPlan(q, StraightforwardPlan(q), db, 3.0);
+  EXPECT_FALSE(r.status.ok());
+  Plan empty;
+  ExplainResult e = ExplainPlan(q, empty, ThreeColorDb(), 3.0);
+  EXPECT_FALSE(e.status.ok());
+}
+
+TEST(ExplainTest, ActualsIdenticalAcrossStrategiesAtRoot) {
+  Database db = ThreeColorDb();
+  Rng rng(5);
+  ConjunctiveQuery q = KColorQuery(ConnectedRandomGraph(8, 14, rng));
+  int64_t expected = -1;
+  for (StrategyKind kind :
+       {StrategyKind::kStraightforward, StrategyKind::kEarlyProjection,
+        StrategyKind::kBucketElimination}) {
+    Plan plan = BuildStrategyPlan(kind, q, 1);
+    ExplainResult r = ExplainPlan(q, plan, db, 3.0);
+    ASSERT_TRUE(r.status.ok());
+    if (expected < 0) {
+      expected = r.nodes.front().actual_rows;
+    } else {
+      EXPECT_EQ(r.nodes.front().actual_rows, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppr

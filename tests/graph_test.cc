@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace ppr {
+namespace {
+
+TEST(GraphTest, AddEdgeRejectsLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));  // duplicate (undirected)
+  EXPECT_FALSE(g.AddEdge(2, 2));  // loop
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.Neighbors(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(g.Neighbors(2), (std::vector<int>{0}));
+}
+
+TEST(GraphTest, EdgesSortedWithSmallerFirst) {
+  Graph g(3);
+  g.AddEdge(2, 1);
+  g.AddEdge(1, 0);
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(1, 2));
+}
+
+TEST(GraphTest, Components) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.NumComponents(), 3);  // {0,1}, {2,3}, {4}
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(g.NumComponents(), 1);
+}
+
+TEST(GraphTest, IsClique) {
+  Graph g = Complete(4);
+  EXPECT_TRUE(g.IsClique({0, 1, 2, 3}));
+  EXPECT_TRUE(g.IsClique({1, 3}));
+  EXPECT_TRUE(g.IsClique({2}));
+  Graph h = Cycle(4);
+  EXPECT_FALSE(h.IsClique({0, 1, 2}));
+}
+
+TEST(GraphTest, Density) {
+  Graph g(10);
+  for (int i = 0; i < 9; ++i) g.AddEdge(i, i + 1);
+  EXPECT_DOUBLE_EQ(g.Density(), 0.9);
+}
+
+TEST(RandomGraphTest, ExactEdgeCount) {
+  Rng rng(1);
+  for (int m : {0, 1, 10, 45}) {
+    Graph g = RandomGraph(10, m, rng);
+    EXPECT_EQ(g.num_vertices(), 10);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+}
+
+TEST(RandomGraphTest, EdgesAreDistinct) {
+  Rng rng(2);
+  Graph g = RandomGraph(12, 40, rng);
+  const std::vector<std::pair<int, int>> edge_list = g.Edges();
+  std::set<std::pair<int, int>> edges(edge_list.begin(), edge_list.end());
+  EXPECT_EQ(edges.size(), 40u);
+}
+
+TEST(RandomGraphTest, DensityTargets) {
+  Rng rng(3);
+  Graph g = RandomGraphWithDensity(20, 3.0, rng);
+  EXPECT_EQ(g.num_edges(), 60);
+  // Density clamped at the complete graph.
+  Graph h = RandomGraphWithDensity(5, 8.0, rng);
+  EXPECT_EQ(h.num_edges(), 10);
+}
+
+TEST(RandomGraphTest, DifferentSeedsGiveDifferentGraphs) {
+  Rng a(10), b(11);
+  Graph ga = RandomGraph(15, 30, a);
+  Graph gb = RandomGraph(15, 30, b);
+  EXPECT_NE(ga.Edges(), gb.Edges());
+}
+
+// --- Structured generators (Fig. 1) ------------------------------------
+
+class StructuredOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuredOrderTest, AugmentedPathShape) {
+  const int order = GetParam();
+  Graph g = AugmentedPath(order);
+  EXPECT_EQ(g.num_vertices(), 2 * order);
+  EXPECT_EQ(g.num_edges(), (order - 1) + order);
+  // Pendant vertices have degree 1.
+  for (int i = 0; i < order; ++i) EXPECT_EQ(g.Degree(order + i), 1);
+  // Interior path vertices: 2 path neighbors + 1 pendant.
+  for (int i = 1; i + 1 < order; ++i) EXPECT_EQ(g.Degree(i), 3);
+  EXPECT_EQ(g.NumComponents(), 1);
+}
+
+TEST_P(StructuredOrderTest, LadderShape) {
+  const int order = GetParam();
+  Graph g = Ladder(order);
+  EXPECT_EQ(g.num_vertices(), 2 * order);
+  EXPECT_EQ(g.num_edges(), 3 * order - 2);
+  // Corner vertices have degree 2, interior rail vertices degree 3.
+  if (order >= 2) {
+    EXPECT_EQ(g.Degree(0), 2);
+    EXPECT_EQ(g.Degree(order - 1), 2);
+  }
+  for (int i = 1; i + 1 < order; ++i) EXPECT_EQ(g.Degree(i), 3);
+  EXPECT_EQ(g.NumComponents(), 1);
+}
+
+TEST_P(StructuredOrderTest, AugmentedLadderShape) {
+  const int order = GetParam();
+  Graph g = AugmentedLadder(order);
+  EXPECT_EQ(g.num_vertices(), 4 * order);
+  EXPECT_EQ(g.num_edges(), (3 * order - 2) + 2 * order);
+  // Every ladder vertex gains exactly one pendant.
+  for (int v = 0; v < 2 * order; ++v) {
+    EXPECT_EQ(g.Degree(2 * order + v), 1);
+    EXPECT_EQ(g.Degree(v), Ladder(order).Degree(v) + 1);
+  }
+}
+
+TEST_P(StructuredOrderTest, AugmentedCircularLadderShape) {
+  const int order = GetParam();
+  if (order < 3) return;
+  Graph g = AugmentedCircularLadder(order);
+  EXPECT_EQ(g.num_vertices(), 4 * order);
+  EXPECT_EQ(g.num_edges(), 5 * order);
+  // All rail vertices now have degree 4 (2 rail + 1 rung + 1 pendant).
+  for (int v = 0; v < 2 * order; ++v) EXPECT_EQ(g.Degree(v), 4);
+  EXPECT_EQ(g.NumComponents(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StructuredOrderTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25));
+
+TEST(StructuredTest, CycleAndComplete) {
+  Graph c = Cycle(5);
+  EXPECT_EQ(c.num_edges(), 5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(c.Degree(v), 2);
+  Graph k = Complete(6);
+  EXPECT_EQ(k.num_edges(), 15);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(k.Degree(v), 5);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "encode/sat.h"
+#include "exec/executor.h"
+#include "exec/semijoin_pass.h"
+#include "graph/generators.h"
+#include "hyper/hypergraph.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+ConjunctiveQuery Q(std::vector<Atom> atoms, std::vector<AttrId> free_vars) {
+  return ConjunctiveQuery(std::move(atoms), std::move(free_vars));
+}
+
+TEST(HypergraphTest, FromQueryDeduplicatesAttrs) {
+  ConjunctiveQuery q({Atom{"r", {2, 0, 2}}}, {});
+  Hypergraph h = Hypergraph::FromQuery(q);
+  ASSERT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(h.edge(0), (std::vector<AttrId>{0, 2}));
+}
+
+TEST(GyoTest, TreesAreAcyclic) {
+  for (int order : {2, 4, 8}) {
+    // Augmented paths are trees; their binary-edge hypergraphs are
+    // alpha-acyclic.
+    ConjunctiveQuery q = KColorQuery(AugmentedPath(order));
+    EXPECT_TRUE(IsAcyclicQuery(q)) << order;
+  }
+}
+
+TEST(GyoTest, CyclesAreCyclic) {
+  EXPECT_FALSE(IsAcyclicQuery(KColorQuery(Cycle(3))));
+  EXPECT_FALSE(IsAcyclicQuery(KColorQuery(Cycle(5))));
+  EXPECT_FALSE(IsAcyclicQuery(KColorQuery(Ladder(3))));
+  EXPECT_FALSE(IsAcyclicQuery(KColorQuery(Complete(4))));
+}
+
+TEST(GyoTest, SingleAtomAcyclic) {
+  EXPECT_TRUE(IsAcyclicQuery(Q({Atom{"r", {0, 1, 2}}}, {0})));
+}
+
+TEST(GyoTest, TernaryChainIsAcyclic) {
+  // R(a,b,c) - R(c,d,e) - R(e,f,g): classic acyclic chain.
+  ConjunctiveQuery q = Q({Atom{"r", {0, 1, 2}}, Atom{"r", {2, 3, 4}},
+                          Atom{"r", {4, 5, 6}}},
+                         {0});
+  EXPECT_TRUE(IsAcyclicQuery(q));
+}
+
+TEST(GyoTest, TriangleOfTernariesIsCyclic) {
+  ConjunctiveQuery q = Q({Atom{"r", {0, 1, 9}}, Atom{"r", {1, 2, 8}},
+                          Atom{"r", {2, 0, 7}}},
+                         {0});
+  EXPECT_FALSE(IsAcyclicQuery(q));
+}
+
+TEST(GyoTest, CoveringEdgeMakesTriangleAcyclic) {
+  // A triangle plus a hyperedge covering all three vertices is acyclic —
+  // the hallmark of alpha-acyclicity (not closed under subhypergraphs).
+  ConjunctiveQuery q = Q({Atom{"e", {0, 1}}, Atom{"e", {1, 2}},
+                          Atom{"e", {0, 2}}, Atom{"t", {0, 1, 2}}},
+                         {0});
+  EXPECT_TRUE(IsAcyclicQuery(q));
+}
+
+TEST(GyoTest, DuplicateAtomsFoldCleanly) {
+  ConjunctiveQuery q = Q({Atom{"e", {0, 1}}, Atom{"e", {0, 1}}}, {0});
+  GyoResult gyo = GyoReduction(Hypergraph::FromQuery(q));
+  EXPECT_TRUE(gyo.acyclic);
+}
+
+TEST(GyoTest, EarOrderCoversAllEdgesWhenAcyclic) {
+  ConjunctiveQuery q = KColorQuery(AugmentedPath(5));
+  GyoResult gyo = GyoReduction(Hypergraph::FromQuery(q));
+  ASSERT_TRUE(gyo.acyclic);
+  EXPECT_EQ(gyo.ear_order.size(), static_cast<size_t>(q.num_atoms()));
+  std::vector<int> sorted = gyo.ear_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(AcyclicPlanTest, RejectsCyclicQueries) {
+  Result<Plan> plan = AcyclicJoinTreePlan(KColorQuery(Cycle(4)));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AcyclicPlanTest, TreeQueriesGetNarrowValidPlans) {
+  Database db;
+  AddColoringRelations(3, &db);
+  for (int order : {3, 6, 9}) {
+    ConjunctiveQuery q = KColorQuery(AugmentedPath(order));
+    Result<Plan> plan = AcyclicJoinTreePlan(q);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(ValidatePlan(q, *plan).ok()) << order;
+    // Join-tree plans stay within the union of two binary atoms.
+    EXPECT_LE(plan->Width(), 4) << order;
+
+    ExecutionResult a = ExecutePlan(q, *plan, db);
+    ExecutionResult b = ExecuteStraightforward(q, db);
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_TRUE(a.output.SetEquals(b.output));
+  }
+}
+
+TEST(AcyclicPlanTest, DisconnectedComponentsJoinAtRoot) {
+  ConjunctiveQuery q = Q({Atom{"edge", {0, 1}}, Atom{"edge", {2, 3}}}, {0});
+  Result<Plan> plan = AcyclicJoinTreePlan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(q, *plan).ok());
+}
+
+TEST(AcyclicPlanTest, SatChainEndToEnd) {
+  // Acyclic 3-SAT chain: clause atoms overlapping in single variables.
+  Cnf cnf;
+  cnf.num_vars = 7;
+  cnf.clauses = {
+      {Literal{0, false}, Literal{1, false}, Literal{2, false}},
+      {Literal{2, true}, Literal{3, false}, Literal{4, false}},
+      {Literal{4, true}, Literal{5, false}, Literal{6, true}},
+  };
+  ConjunctiveQuery q = SatQuery(cnf);
+  ASSERT_TRUE(IsAcyclicQuery(q));
+  Result<Plan> plan = AcyclicJoinTreePlan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ValidatePlan(q, *plan).ok());
+
+  Database db;
+  AddSatRelations(3, &db);
+  ExecutionResult r = ExecutePlan(q, *plan, db);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.nonempty());  // trivially satisfiable
+}
+
+TEST(AcyclicPlanTest, FullYannakakisBoundsIntermediates) {
+  // Semijoin reduction + join-tree plan: after the full reducer, every
+  // intermediate row extends to an answer, so intermediate cardinality is
+  // bounded by |answer| x |largest relation| (here: small constants),
+  // while the straightforward plan blows up exponentially in the order.
+  Database db;
+  AddColoringRelations(3, &db);
+  db.Put("pin", Relation{Schema({0}), {{1}}});
+
+  const int order = 7;
+  ConjunctiveQuery coloring = KColorQuery(AugmentedPath(order));
+  ConjunctiveQuery q({Atom{"pin", {0}}}, {});
+  for (const Atom& atom : coloring.atoms()) q.AddAtom(atom);
+  q.SetFreeVars({0});
+
+  SemijoinPassResult pass = SemijoinReduce(q, db);
+  ASSERT_TRUE(pass.status.ok());
+  Result<Plan> plan = AcyclicJoinTreePlan(pass.query);
+  ASSERT_TRUE(plan.ok());
+  ExecutionResult reduced = ExecutePlan(pass.query, *plan, pass.db);
+  ASSERT_TRUE(reduced.status.ok());
+
+  ExecutionResult direct = ExecuteStraightforward(q, db);
+  ASSERT_TRUE(direct.status.ok());
+  EXPECT_TRUE(reduced.output.SetEquals(direct.output));
+  EXPECT_LT(reduced.stats.max_intermediate_rows,
+            direct.stats.max_intermediate_rows / 10);
+}
+
+class AcyclicEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcyclicEquivalenceTest, JoinTreePlanMatchesBucketElimination) {
+  // Random trees (always acyclic): the Yannakakis-style plan and bucket
+  // elimination agree with the reference everywhere.
+  Rng rng(GetParam());
+  const int n = rng.NextInt(4, 12);
+  Graph g = ConnectedRandomGraph(n, n - 1, rng);  // spanning tree only
+  ConjunctiveQuery q = (GetParam() % 2 == 0)
+                           ? KColorQuery(g)
+                           : KColorQueryNonBoolean(g, 0.2, rng);
+  ASSERT_TRUE(IsAcyclicQuery(q));
+
+  Database db;
+  AddColoringRelations(3, &db);
+  Result<Plan> jt = AcyclicJoinTreePlan(q);
+  ASSERT_TRUE(jt.ok());
+  ASSERT_TRUE(ValidatePlan(q, *jt).ok()) << g.ToString();
+  ExecutionResult a = ExecutePlan(q, *jt, db);
+  ExecutionResult b = ExecutePlan(q, BucketEliminationPlanMcs(q, &rng), db);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_TRUE(a.output.SetEquals(b.output)) << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "minimize/minimize.h"
+
+namespace ppr {
+namespace {
+
+TEST(CanonicalDatabaseTest, AtomsBecomeTuples) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}, Atom{"s", {2}}},
+                     {0});
+  Database db = CanonicalDatabase(q);
+  const Relation* r = *db.Get("r");
+  EXPECT_EQ(r->size(), 2);
+  EXPECT_TRUE(r->ContainsTuple(std::vector<Value>{0, 1}));
+  EXPECT_TRUE(r->ContainsTuple(std::vector<Value>{1, 2}));
+  const Relation* s = *db.Get("s");
+  EXPECT_EQ(s->size(), 1);
+  EXPECT_TRUE(s->ContainsTuple(std::vector<Value>{2}));
+}
+
+TEST(CanonicalDatabaseTest, DuplicateAtomsCollapse) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"r", {0, 1}}}, {0});
+  Database db = CanonicalDatabase(q);
+  EXPECT_EQ((*db.Get("r"))->size(), 1);
+}
+
+TEST(ContainmentTest, QueryContainsItself) {
+  ConjunctiveQuery q = PentagonQuery();
+  Result<bool> r = IsContainedIn(q, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(ContainmentTest, MoreAtomsMeansContained) {
+  // Q1 = R(x,y), R(y,z); Q2 = R(x,y). Q1 ⊆ Q2 (extra constraint), but
+  // Q2 ⊄ Q1 (Q2 is satisfied by a single tuple where Q1 may not be).
+  ConjunctiveQuery q1({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}}, {0});
+  ConjunctiveQuery q2({Atom{"r", {0, 1}}}, {0});
+  EXPECT_TRUE(*IsContainedIn(q1, q2));
+  EXPECT_FALSE(*IsContainedIn(q2, q1));
+  EXPECT_FALSE(*AreEquivalent(q1, q2));
+}
+
+TEST(ContainmentTest, ParallelBranchesAreEquivalent) {
+  // R(x,y) and R(x,y),R(x,z): z can fold onto y.
+  ConjunctiveQuery one({Atom{"r", {0, 1}}}, {0});
+  ConjunctiveQuery two({Atom{"r", {0, 1}}, Atom{"r", {0, 2}}}, {0});
+  EXPECT_TRUE(*AreEquivalent(one, two));
+}
+
+TEST(ContainmentTest, DifferentTargetSchemasRejected) {
+  ConjunctiveQuery a({Atom{"r", {0, 1}}}, {0});
+  ConjunctiveQuery b({Atom{"r", {0, 1}}}, {1});
+  Result<bool> r = IsContainedIn(a, b);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ContainmentTest, ForeignRelationMeansNotContained) {
+  ConjunctiveQuery a({Atom{"r", {0, 1}}}, {0});
+  ConjunctiveQuery b({Atom{"r", {0, 1}}, Atom{"s", {0}}}, {0});
+  // b requires a tuple in s; a's canonical database has none.
+  EXPECT_FALSE(*IsContainedIn(a, b));
+  EXPECT_TRUE(*IsContainedIn(b, a));
+}
+
+TEST(MinimizeTest, DropsDuplicateAtoms) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"r", {0, 1}}}, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 1);
+}
+
+TEST(MinimizeTest, FoldsRedundantBranch) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"r", {0, 2}}}, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 1);
+}
+
+TEST(MinimizeTest, DirectedPathIsACore) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}}, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 2);
+}
+
+TEST(MinimizeTest, OrientedOddCycleIsACore) {
+  // The pentagon with consistent orientation has no proper retract.
+  ConjunctiveQuery q = PentagonQuery();
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 5);
+}
+
+TEST(MinimizeTest, SymmetricEvenCycleRetractsToAnEdge) {
+  // A 4-cycle listed with both orientations of every edge (the symmetric
+  // encoding) retracts onto a single edge: bipartite graphs have K2 as
+  // their core. The free vertex keeps one incident edge pair.
+  std::vector<Atom> atoms;
+  const int kCycle[4][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (const auto& e : kCycle) {
+    atoms.push_back(Atom{"edge", {e[0], e[1]}});
+    atoms.push_back(Atom{"edge", {e[1], e[0]}});
+  }
+  ConjunctiveQuery q(atoms, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 2);  // edge(u,v) and edge(v,u) around vertex 0
+  for (const Atom& atom : core->atoms()) {
+    EXPECT_TRUE(atom.UsesAttr(0));
+  }
+  // The core is equivalent to the original.
+  EXPECT_TRUE(*AreEquivalent(q, *core));
+}
+
+TEST(MinimizeTest, SymmetricOddCycleStaysWhole) {
+  std::vector<Atom> atoms;
+  const int kCycle[5][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  for (const auto& e : kCycle) {
+    atoms.push_back(Atom{"edge", {e[0], e[1]}});
+    atoms.push_back(Atom{"edge", {e[1], e[0]}});
+  }
+  ConjunctiveQuery q(atoms, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  // An odd cycle has no homomorphism to anything shorter than itself
+  // (its core as an undirected graph is C5): all 10 atoms stay.
+  EXPECT_EQ(core->num_atoms(), 10);
+}
+
+TEST(MinimizeTest, CoreStaysEquivalentOnRandomQueries) {
+  // Minimization must preserve the answer on real databases, not just on
+  // canonical ones: check against the 3-coloring database.
+  Rng rng(5);
+  Database db;
+  AddColoringRelations(3, &db);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomGraph(7, rng.NextInt(6, 12), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    Result<ConjunctiveQuery> core = MinimizeQuery(q);
+    ASSERT_TRUE(core.ok());
+    EXPECT_LE(core->num_atoms(), q.num_atoms());
+
+    ExecutionResult a = ExecuteStraightforward(q, db);
+    ExecutionResult b = ExecuteStraightforward(*core, db);
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_TRUE(a.output.SetEquals(b.output));
+  }
+}
+
+TEST(MinimizeTest, SingleAtomUntouched) {
+  ConjunctiveQuery q({Atom{"r", {0, 1}}}, {0});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 1);
+}
+
+}  // namespace
+}  // namespace ppr

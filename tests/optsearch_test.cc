@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "encode/sat.h"
+#include "graph/generators.h"
+#include "optsearch/cost_model.h"
+#include "optsearch/plan_search.h"
+
+namespace ppr {
+namespace {
+
+// Cost model for a 3-COLOR query over the 6-tuple edge relation.
+CostModel ColoringModel(const ConjunctiveQuery& q) {
+  Database db;
+  AddColoringRelations(3, &db);
+  return CostModel::ForQuery(q, db, /*domain_size=*/3.0);
+}
+
+TEST(CostModelTest, SingleAtomCostIsScan) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0});
+  CostModel model = ColoringModel(q);
+  EXPECT_EQ(model.num_atoms(), 1);
+  EXPECT_DOUBLE_EQ(model.atom_rows(0), 6.0);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost({0}), 6.0);
+}
+
+TEST(CostModelTest, SharedAttrReducesCardinality) {
+  // edge(0,1) |><| edge(1,2): 6 * 6 / 3 = 12 joined rows, cost 6 + 12.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}}, {0});
+  CostModel model = ColoringModel(q);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost({0, 1}), 18.0);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost({1, 0}), 18.0);
+}
+
+TEST(CostModelTest, CartesianIsMoreExpensive) {
+  // Disjoint atoms first forces a cross product: 6*6 = 36.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {2, 3}},
+                      Atom{"edge", {1, 2}}},
+                     {0});
+  CostModel model = ColoringModel(q);
+  const double connected = model.LeftDeepCost({0, 2, 1});
+  const double cartesian = model.LeftDeepCost({0, 1, 2});
+  EXPECT_LT(connected, cartesian);
+}
+
+TEST(CostModelTest, OrderIndependentFinalCardinality) {
+  // Total cost differs by order, but the final cardinality term is shared;
+  // check via two orders of a triangle query having equal cost by symmetry.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}},
+                      Atom{"edge", {0, 2}}},
+                     {0});
+  CostModel model = ColoringModel(q);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost({0, 1, 2}),
+                   model.LeftDeepCost({1, 2, 0}));
+}
+
+TEST(DpSearchTest, FindsBruteForceOptimum) {
+  Rng rng(5);
+  Graph g = RandomGraph(6, 8, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  CostModel model = ColoringModel(q);
+
+  PlanSearchResult dp = ExhaustiveDpSearch(model);
+
+  // Brute force over all 8! orders.
+  std::vector<int> order(static_cast<size_t>(model.num_atoms()));
+  std::iota(order.begin(), order.end(), 0);
+  double best = -1;
+  do {
+    double c = model.LeftDeepCost(order);
+    if (best < 0 || c < best) best = c;
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  EXPECT_DOUBLE_EQ(dp.estimated_cost, best);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost(dp.order), dp.estimated_cost);
+}
+
+TEST(DpSearchTest, OrderIsPermutation) {
+  ConjunctiveQuery q = KColorQuery(Ladder(4));
+  CostModel model = ColoringModel(q);
+  PlanSearchResult dp = ExhaustiveDpSearch(model);
+  std::vector<int> sorted = dp.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < model.num_atoms(); ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GT(dp.plans_evaluated, 0);
+}
+
+TEST(GeqoTest, ProducesValidOrderAndNeverBeatsDp) {
+  Rng rng(6);
+  Graph g = RandomGraph(8, 14, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  CostModel model = ColoringModel(q);
+
+  PlanSearchResult dp = ExhaustiveDpSearch(model);
+  PlanSearchResult ga = GeqoSearch(model, rng);
+
+  std::vector<int> sorted = ga.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < model.num_atoms(); ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GE(ga.estimated_cost, dp.estimated_cost - 1e-9);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost(ga.order), ga.estimated_cost);
+}
+
+TEST(GeqoTest, HandlesLargeQueries) {
+  Rng graph_rng(7);
+  Cnf cnf = RandomKSat(5, 40, 3, graph_rng);  // Fig. 2's largest point
+  ConjunctiveQuery q = SatQuery(cnf);
+  Database db;
+  AddSatRelations(3, &db);
+  CostModel model = CostModel::ForQuery(q, db, 2.0);
+
+  Rng rng(8);
+  PlanSearchResult ga = GeqoSearch(model, rng);
+  EXPECT_EQ(ga.order.size(), 40u);
+  EXPECT_GT(ga.plans_evaluated, 1000);  // pool + generations
+}
+
+TEST(FacadeTest, SwitchesAtThreshold) {
+  ConjunctiveQuery q = KColorQuery(Ladder(3));  // 7 atoms
+  CostModel model = ColoringModel(q);
+  Rng rng(9);
+  // Below threshold: DP runs and is exact.
+  PlanSearchResult below = CostBasedPlanSearch(model, rng, 12);
+  PlanSearchResult dp = ExhaustiveDpSearch(model);
+  EXPECT_DOUBLE_EQ(below.estimated_cost, dp.estimated_cost);
+  // Threshold of 1 forces the genetic path.
+  PlanSearchResult above = CostBasedPlanSearch(model, rng, 1);
+  EXPECT_GE(above.estimated_cost, dp.estimated_cost - 1e-9);
+}
+
+TEST(StraightforwardPlanningTest, IdentityOrderSingleEvaluation) {
+  ConjunctiveQuery q = KColorQuery(Ladder(3));
+  CostModel model = ColoringModel(q);
+  PlanSearchResult r = StraightforwardPlanning(model);
+  EXPECT_EQ(r.plans_evaluated, 1);
+  for (int i = 0; i < model.num_atoms(); ++i) {
+    EXPECT_EQ(r.order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatedAnnealingTest, ValidOrderNeverBeatsDp) {
+  Rng rng(15);
+  Graph g = RandomGraph(8, 14, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  CostModel model = ColoringModel(q);
+  PlanSearchResult dp = ExhaustiveDpSearch(model);
+  PlanSearchResult sa = SimulatedAnnealingSearch(model, rng);
+  std::vector<int> sorted = sa.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < model.num_atoms(); ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GE(sa.estimated_cost, dp.estimated_cost - 1e-9);
+  EXPECT_DOUBLE_EQ(model.LeftDeepCost(sa.order), sa.estimated_cost);
+  EXPECT_GT(sa.plans_evaluated, 1);
+}
+
+TEST(SimulatedAnnealingTest, FindsOptimumOnTinyQueries) {
+  // Two atoms: only two orders, SA must find the better one.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}}, {0});
+  CostModel model = ColoringModel(q);
+  Rng rng(16);
+  PlanSearchResult sa = SimulatedAnnealingSearch(model, rng);
+  EXPECT_DOUBLE_EQ(sa.estimated_cost, ExhaustiveDpSearch(model).estimated_cost);
+}
+
+TEST(SimulatedAnnealingTest, BeatsRandomOrderOnAverage) {
+  Rng rng(17);
+  Graph g = RandomGraph(10, 25, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  CostModel model = ColoringModel(q);
+  double sa_total = 0;
+  double random_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    Rng trial(static_cast<uint64_t>(i) + 100);
+    sa_total += SimulatedAnnealingSearch(model, trial).estimated_cost;
+    std::vector<int> order(static_cast<size_t>(model.num_atoms()));
+    std::iota(order.begin(), order.end(), 0);
+    trial.Shuffle(order);
+    random_total += model.LeftDeepCost(order);
+  }
+  EXPECT_LT(sa_total, random_total);
+}
+
+TEST(PlanningEffortTest, NaivePlanningCostsMoreThanStraightforward) {
+  // The heart of Fig. 2: cost-based search does orders of magnitude more
+  // work than forced-order planning.
+  Rng rng(10);
+  Cnf cnf = RandomKSat(5, 25, 3, rng);
+  ConjunctiveQuery q = SatQuery(cnf);
+  Database db;
+  AddSatRelations(3, &db);
+  CostModel model = CostModel::ForQuery(q, db, 2.0);
+  PlanSearchResult naive = CostBasedPlanSearch(model, rng);
+  PlanSearchResult sf = StraightforwardPlanning(model);
+  EXPECT_GT(naive.plans_evaluated, 100 * sf.plans_evaluated);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "query/parser.h"
+
+namespace ppr {
+namespace {
+
+TEST(ParserTest, ParsesProjectionAndAtoms) {
+  Result<ParsedQuery> parsed =
+      ParseQuery("pi{X, Y} edge(X, Z) & edge(Z, Y)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ConjunctiveQuery& q = parsed->query;
+  ASSERT_EQ(q.num_atoms(), 2);
+  EXPECT_EQ(q.atoms()[0].relation, "edge");
+  // First-appearance ids over the atom list: X=0, Z=1, Y=2.
+  EXPECT_EQ(q.atoms()[0].args, (std::vector<AttrId>{0, 1}));
+  EXPECT_EQ(q.atoms()[1].args, (std::vector<AttrId>{1, 2}));
+  EXPECT_EQ(q.free_vars(), (std::vector<AttrId>{0, 2}));
+  EXPECT_EQ(parsed->NameOf(1), "Z");
+}
+
+TEST(ParserTest, BooleanWithoutHead) {
+  Result<ParsedQuery> parsed = ParseQuery("r(A, B), s(B)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->query.IsBoolean());
+  EXPECT_EQ(parsed->query.num_atoms(), 2);
+}
+
+TEST(ParserTest, EmptyHeadIsBoolean) {
+  Result<ParsedQuery> parsed = ParseQuery("pi{} r(A)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->query.IsBoolean());
+}
+
+TEST(ParserTest, RepeatedVariableInAtom) {
+  Result<ParsedQuery> parsed = ParseQuery("pi{A} loop(A, A)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.atoms()[0].args, (std::vector<AttrId>{0, 0}));
+}
+
+TEST(ParserTest, PiAsRelationNameStillWorks) {
+  // "pi" not followed by '{' is an ordinary relation name.
+  Result<ParsedQuery> parsed = ParseQuery("pi(A, B)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.atoms()[0].relation, "pi");
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  Result<ParsedQuery> a = ParseQuery("pi{X}edge(X,Y)&edge(Y,Z)");
+  Result<ParsedQuery> b = ParseQuery("  pi { X }  edge ( X , Y )\n& edge(Y,Z) ");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->query.ToString(), b->query.ToString());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("pi{X}").ok());                 // no atoms
+  EXPECT_FALSE(ParseQuery("pi{X edge(X,Y)").ok());        // head not closed
+  EXPECT_FALSE(ParseQuery("edge(X,Y) edge(Y,Z)").ok());   // missing '&'
+  EXPECT_FALSE(ParseQuery("edge(X,").ok());               // atom not closed
+  EXPECT_FALSE(ParseQuery("edge()").ok());                // no variables
+  EXPECT_FALSE(ParseQuery("pi{Q} edge(X,Y)").ok());       // Q unused
+  EXPECT_FALSE(ParseQuery("pi{X,X} edge(X,Y)").ok());     // duplicate head
+  EXPECT_FALSE(ParseQuery("edge(X,Y) &").ok());           // trailing '&'
+  EXPECT_FALSE(ParseQuery("1edge(X)").ok());              // bad identifier
+}
+
+TEST(ParserTest, ErrorMessagesCarryOffsets) {
+  Result<ParsedQuery> r = ParseQuery("edge(X,");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, ParsedQueryExecutes) {
+  // The parsed pentagon equals the hand-built fixture semantically.
+  Result<ParsedQuery> parsed = ParseQuery(
+      "pi{V1} edge(V1,V2) & edge(V1,V5) & edge(V4,V5) & edge(V3,V4) & "
+      "edge(V2,V3)");
+  ASSERT_TRUE(parsed.ok());
+  Database db;
+  AddColoringRelations(3, &db);
+  ExecutionResult a = ExecuteStraightforward(parsed->query, db);
+  ExecutionResult b = ExecuteStraightforward(PentagonQuery(), db);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.output.size(), b.output.size());
+  EXPECT_EQ(a.nonempty(), b.nonempty());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  // ToString renders x<i> names; re-parsing yields an isomorphic query.
+  Result<ParsedQuery> parsed = ParseQuery("pi{A} r(A,B) & s(B,C)");
+  ASSERT_TRUE(parsed.ok());
+  std::string rendered = parsed->query.ToString();
+  // "pi_{x0} r(x0, x1) |><| s(x1, x2)" — normalize the operators.
+  for (std::string from : {"pi_{", "|><|"}) {
+    size_t pos;
+    while ((pos = rendered.find(from)) != std::string::npos) {
+      rendered.replace(pos, from.size(), from == "|><|" ? "&" : "pi{");
+    }
+  }
+  Result<ParsedQuery> again = ParseQuery(rendered);
+  ASSERT_TRUE(again.ok()) << rendered;
+  EXPECT_EQ(again->query.num_atoms(), parsed->query.num_atoms());
+  EXPECT_EQ(again->query.free_vars().size(),
+            parsed->query.free_vars().size());
+}
+
+}  // namespace
+}  // namespace ppr

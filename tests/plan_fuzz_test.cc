@@ -1,0 +1,146 @@
+// Mutation fuzzing for ValidatePlan: corrupt valid plans in targeted ways
+// and verify the validator rejects every corruption. This is the safety
+// net that keeps the strategies honest — a plan that passes validation
+// and still computes a wrong answer would be a soundness hole.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+// Collects pointers to every node of the plan.
+void Collect(PlanNode* node, std::vector<PlanNode*>* out) {
+  out->push_back(node);
+  for (auto& child : node->children) Collect(child.get(), out);
+}
+
+class PlanFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // A fresh valid plan for a random query, plus its query.
+  void Setup(Rng& rng) {
+    const int n = rng.NextInt(6, 10);
+    const int m = rng.NextInt(n, std::min(2 * n, n * (n - 1) / 2));
+    graph_ = ConnectedRandomGraph(n, m, rng);
+    query_ = KColorQuery(graph_);
+    const StrategyKind kinds[] = {
+        StrategyKind::kStraightforward, StrategyKind::kEarlyProjection,
+        StrategyKind::kReordering, StrategyKind::kBucketElimination,
+        StrategyKind::kTreewidth};
+    plan_ = BuildStrategyPlan(kinds[rng.NextBounded(5)], query_,
+                              rng.NextU64());
+    ASSERT_TRUE(ValidatePlan(query_, plan_).ok());
+  }
+
+  Graph graph_{0};
+  ConjunctiveQuery query_;
+  Plan plan_;
+};
+
+TEST_P(PlanFuzzTest, DroppingALiveAttributeIsRejected) {
+  Rng rng(GetParam());
+  Setup(rng);
+  std::vector<PlanNode*> nodes;
+  Collect(plan_.mutable_root(), &nodes);
+
+  // Remove one projected attribute from a random non-root node with a
+  // nonempty projected label; either the label consistency or the safety
+  // check must fire.
+  std::vector<PlanNode*> candidates;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (!nodes[i]->projected.empty()) candidates.push_back(nodes[i]);
+  }
+  if (candidates.empty()) GTEST_SKIP();
+  PlanNode* victim =
+      candidates[static_cast<size_t>(rng.NextBounded(candidates.size()))];
+  victim->projected.erase(victim->projected.begin() +
+                          static_cast<long>(rng.NextBounded(
+                              victim->projected.size())));
+  EXPECT_FALSE(ValidatePlan(query_, plan_).ok());
+}
+
+TEST_P(PlanFuzzTest, WideningAProjectionIsRejected) {
+  Rng rng(GetParam());
+  Setup(rng);
+  std::vector<PlanNode*> nodes;
+  Collect(plan_.mutable_root(), &nodes);
+
+  // Add an attribute to a node's projected label that is in the working
+  // label but was deliberately dropped; the parent's working label no
+  // longer matches the union of children's projections.
+  for (PlanNode* node : nodes) {
+    if (node == plan_.root() || !node->Projects()) continue;
+    std::vector<AttrId> dropped;
+    std::set_difference(node->working.begin(), node->working.end(),
+                        node->projected.begin(), node->projected.end(),
+                        std::back_inserter(dropped));
+    node->projected.insert(
+        std::upper_bound(node->projected.begin(), node->projected.end(),
+                         dropped.front()),
+        dropped.front());
+    EXPECT_FALSE(ValidatePlan(query_, plan_).ok());
+    return;
+  }
+  GTEST_SKIP();  // plan had no projecting non-root node
+}
+
+TEST_P(PlanFuzzTest, SwappingALeafAtomIsRejected) {
+  Rng rng(GetParam());
+  Setup(rng);
+  std::vector<PlanNode*> nodes;
+  Collect(plan_.mutable_root(), &nodes);
+  // Point one leaf at another atom: duplicate + missing atom.
+  std::vector<PlanNode*> leaves;
+  for (PlanNode* node : nodes) {
+    if (node->IsLeaf()) leaves.push_back(node);
+  }
+  ASSERT_GE(leaves.size(), 2u);
+  PlanNode* a = leaves[0];
+  PlanNode* b = leaves[1];
+  a->atom_index = b->atom_index;
+  a->working = b->working;
+  a->projected = b->projected;
+  EXPECT_FALSE(ValidatePlan(query_, plan_).ok());
+}
+
+TEST_P(PlanFuzzTest, CorruptingRootSchemaIsRejected) {
+  Rng rng(GetParam());
+  Setup(rng);
+  PlanNode* root = plan_.mutable_root();
+  if (root->projected.size() < root->working.size()) {
+    root->projected = root->working;  // stop projecting to the target
+  } else {
+    root->projected.clear();
+  }
+  EXPECT_FALSE(ValidatePlan(query_, plan_).ok());
+}
+
+TEST_P(PlanFuzzTest, UnsortedLabelIsRejected) {
+  Rng rng(GetParam());
+  Setup(rng);
+  std::vector<PlanNode*> nodes;
+  Collect(plan_.mutable_root(), &nodes);
+  for (PlanNode* node : nodes) {
+    if (node->working.size() >= 2) {
+      std::swap(node->working.front(), node->working.back());
+      EXPECT_FALSE(ValidatePlan(query_, plan_).ok());
+      return;
+    }
+  }
+  GTEST_SKIP();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzzTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ppr

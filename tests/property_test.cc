@@ -1,0 +1,181 @@
+// Randomized property suite: the paper's core claims, checked across many
+// seeded random instances.
+//
+//  P1. All five strategies compute exactly the same relation, which in the
+//      Boolean reading agrees with an independent reference solver.
+//  P2. Every strategy produces a plan that passes ValidatePlan (safety of
+//      projection pushing).
+//  P3. Plan width never falls below treewidth + 1 (Theorem 1 lower bound),
+//      and observed runtime arity never exceeds the static width.
+//  P4. SAT-encoded queries agree with a DPLL solver (Section 7's 3-SAT /
+//      2-SAT consistency claim).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "core/theory.h"
+#include "encode/kcolor.h"
+#include "encode/reference.h"
+#include "encode/sat.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+class ColoringEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColoringEquivalenceTest, AllStrategiesMatchReferenceSolver) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(6, 11);
+  const int max_edges = n * (n - 1) / 2;
+  const int m = rng.NextInt(n - 1, std::min(3 * n, max_edges));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  const bool non_boolean = GetParam() % 3 == 0;
+  ConjunctiveQuery q = non_boolean ? KColorQueryNonBoolean(g, 0.2, rng)
+                                   : KColorQuery(g);
+  Database db;
+  AddColoringRelations(3, &db);
+
+  const bool expected = IsKColorable(g, 3);
+  Relation reference_output;
+  bool have_reference = false;
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, GetParam());
+    ASSERT_TRUE(ValidatePlan(q, plan).ok())
+        << StrategyName(kind) << "\n" << g.ToString();  // P2
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok()) << StrategyName(kind);
+    EXPECT_EQ(r.nonempty(), expected)
+        << StrategyName(kind) << "\n" << g.ToString();  // P1 (Boolean)
+    EXPECT_LE(r.stats.max_intermediate_arity, plan.Width());  // P3 (runtime)
+    if (!have_reference) {
+      reference_output = std::move(r.output);
+      have_reference = true;
+    } else {
+      EXPECT_TRUE(r.output.SetEquals(reference_output))
+          << StrategyName(kind);  // P1 (full relation)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class WidthBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WidthBoundTest, NoStrategyBeatsTreewidthPlusOne) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(5, 10);
+  const int m = rng.NextInt(n - 1, std::min(2 * n, n * (n - 1) / 2));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  const int tw = ExactTreewidth(BuildJoinGraph(q));
+
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, GetParam());
+    EXPECT_GE(plan.Width(), tw + 1) << StrategyName(kind);  // P3
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidthBoundTest,
+                         ::testing::Range<uint64_t>(50, 75));
+
+class SatEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatEquivalenceTest, QueryNonemptinessEqualsSatisfiability) {
+  Rng rng(GetParam());
+  const int k = (GetParam() % 2 == 0) ? 3 : 2;  // 3-SAT and 2-SAT
+  const int num_vars = rng.NextInt(k, 8);
+  const int num_clauses = rng.NextInt(1, 4 * num_vars);
+  Cnf cnf = RandomKSat(num_vars, num_clauses, k, rng);
+  ConjunctiveQuery q = SatQuery(cnf);
+  Database db;
+  AddSatRelations(k, &db);
+
+  const bool expected = IsSatisfiable(cnf);
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, GetParam());
+    ASSERT_TRUE(ValidatePlan(q, plan).ok()) << StrategyName(kind);
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.nonempty(), expected)
+        << StrategyName(kind) << "\n" << cnf.ToString();  // P4
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatEquivalenceTest,
+                         ::testing::Range<uint64_t>(100, 140));
+
+class ProjectionPushingLegalityTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProjectionPushingLegalityTest, PushedPlansEqualUnpushedSemantics) {
+  // Algebraic identity behind Section 4: projecting dead variables early
+  // cannot change the result. Compare early projection against the
+  // unpushed straightforward evaluation over random *permutations* too.
+  Rng rng(GetParam());
+  const int n = rng.NextInt(5, 9);
+  const int m = rng.NextInt(n - 1, std::min(2 * n, n * (n - 1) / 2));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  Database db;
+  AddColoringRelations(3, &db);
+
+  ExecutionResult reference = ExecuteStraightforward(q, db);
+  ASSERT_TRUE(reference.status.ok());
+
+  std::vector<int> perm(static_cast<size_t>(q.num_atoms()));
+  for (int i = 0; i < q.num_atoms(); ++i) perm[static_cast<size_t>(i)] = i;
+  for (int trial = 0; trial < 3; ++trial) {
+    rng.Shuffle(perm);
+    Plan plan = EarlyProjectionPlanWithOrder(q, perm);
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    ExecutionResult r = ExecutePlan(q, plan, db);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.output.SetEquals(reference.output));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPushingLegalityTest,
+                         ::testing::Range<uint64_t>(200, 220));
+
+class TheoryRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TheoryRoundTripTest, PlanToDecompositionToPlanPreservesSemantics) {
+  // Convert a bucket-elimination plan to a tree decomposition (Algorithm
+  // 1) and back to a plan (Algorithms 2+3); the result must stay valid,
+  // no wider, and compute the same relation.
+  Rng rng(GetParam());
+  const int n = rng.NextInt(5, 10);
+  const int m = rng.NextInt(n - 1, std::min(2 * n, n * (n - 1) / 2));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  Database db;
+  AddColoringRelations(3, &db);
+
+  Plan original = BuildStrategyPlan(StrategyKind::kBucketElimination, q,
+                                    GetParam());
+  TreeDecomposition td = PlanToTreeDecomposition(q, original);
+  Plan round_trip = PlanFromTreeDecomposition(q, td);
+  ASSERT_TRUE(ValidatePlan(q, round_trip).ok());
+  EXPECT_LE(round_trip.Width(), original.Width());
+
+  ExecutionResult a = ExecutePlan(q, original, db);
+  ExecutionResult b = ExecutePlan(q, round_trip, db);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_TRUE(a.output.SetEquals(b.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoryRoundTripTest,
+                         ::testing::Range<uint64_t>(300, 320));
+
+}  // namespace
+}  // namespace ppr

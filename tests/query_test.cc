@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+namespace {
+
+TEST(AtomTest, DistinctAttrsFirstOccurrenceOrder) {
+  Atom a{"r", {3, 1, 3, 2, 1}};
+  EXPECT_EQ(a.DistinctAttrs(), (std::vector<AttrId>{3, 1, 2}));
+  EXPECT_TRUE(a.UsesAttr(2));
+  EXPECT_FALSE(a.UsesAttr(0));
+}
+
+TEST(AtomTest, ToString) {
+  Atom a{"edge", {0, 4}};
+  EXPECT_EQ(a.ToString(), "edge(x0, x4)");
+}
+
+TEST(QueryTest, AccessorsAndAllAttrs) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}}, {0});
+  EXPECT_EQ(q.num_atoms(), 2);
+  EXPECT_FALSE(q.IsBoolean());
+  EXPECT_EQ(q.AllAttrs(), (std::vector<AttrId>{0, 1, 2}));
+  EXPECT_TRUE(q.UsesAttr(2));
+  EXPECT_FALSE(q.UsesAttr(5));
+}
+
+TEST(QueryTest, BooleanQueryHasNoFreeVars) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {});
+  EXPECT_TRUE(q.IsBoolean());
+}
+
+TEST(QueryTest, ToStringRendersProjectJoin) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}}, {0});
+  EXPECT_EQ(q.ToString(), "pi_{x0} edge(x0, x1) |><| edge(x1, x2)");
+}
+
+TEST(QueryValidateTest, AcceptsWellFormed) {
+  Database db;
+  AddColoringRelations(3, &db);
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0});
+  EXPECT_TRUE(q.Validate(db).ok());
+}
+
+TEST(QueryValidateTest, RejectsUnknownRelation) {
+  Database db;
+  ConjunctiveQuery q({Atom{"nope", {0, 1}}}, {});
+  EXPECT_EQ(q.Validate(db).code(), StatusCode::kNotFound);
+}
+
+TEST(QueryValidateTest, RejectsArityMismatch) {
+  Database db;
+  AddColoringRelations(3, &db);
+  ConjunctiveQuery q({Atom{"edge", {0, 1, 2}}}, {});
+  EXPECT_EQ(q.Validate(db).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryValidateTest, RejectsUnusedFreeVariable) {
+  Database db;
+  AddColoringRelations(3, &db);
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {7});
+  EXPECT_EQ(q.Validate(db).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinGraphTest, AtomsBecomeCliques) {
+  ConjunctiveQuery q({Atom{"r", {0, 1, 2}}, Atom{"s", {2, 3}}}, {});
+  Graph g = BuildJoinGraph(q);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_TRUE(g.IsClique({0, 1, 2}));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(JoinGraphTest, TargetSchemaAddsClique) {
+  // Free vars 0 and 3 never co-occur in an atom, but Section 5 adds an
+  // edge for every pair of target-schema attributes.
+  ConjunctiveQuery q({Atom{"r", {0, 1}}, Atom{"s", {1, 3}}}, {0, 3});
+  Graph g = BuildJoinGraph(q);
+  EXPECT_TRUE(g.HasEdge(0, 3));
+}
+
+TEST(JoinGraphTest, MatchesSourceGraphForKColorQueries) {
+  // The join graph of a Boolean 3-COLOR query is the source graph itself
+  // (up to the single free vertex adding no new edges).
+  Graph source = Ladder(4);
+  ConjunctiveQuery q = KColorQuery(source);
+  Graph jg = BuildJoinGraph(q);
+  EXPECT_EQ(jg.num_vertices(), source.num_vertices());
+  EXPECT_EQ(jg.Edges(), source.Edges());
+}
+
+TEST(JoinGraphTest, RepeatedAttrInAtomIsNoSelfLoop) {
+  ConjunctiveQuery q({Atom{"r", {1, 1}}}, {});
+  Graph g = BuildJoinGraph(q);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace ppr {
+namespace {
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s({3, 1, 7});
+  EXPECT_EQ(s.arity(), 3);
+  EXPECT_EQ(s.attr(0), 3);
+  EXPECT_EQ(s.IndexOf(1), 1);
+  EXPECT_EQ(s.IndexOf(42), -1);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(SchemaTest, CommonAndDifference) {
+  Schema a({1, 2, 3});
+  Schema b({3, 4, 1});
+  EXPECT_EQ(a.CommonAttrs(b), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(a.AttrsNotIn(b), (std::vector<AttrId>{2}));
+  EXPECT_EQ(b.AttrsNotIn(a), (std::vector<AttrId>{4}));
+}
+
+TEST(SchemaTest, SameAttrSetIgnoresOrder) {
+  EXPECT_TRUE(Schema({1, 2}).SameAttrSet(Schema({2, 1})));
+  EXPECT_FALSE(Schema({1, 2}).SameAttrSet(Schema({1, 3})));
+  EXPECT_FALSE(Schema({1}).SameAttrSet(Schema({1, 2})));
+  EXPECT_TRUE(Schema(std::vector<AttrId>{}).SameAttrSet(Schema(std::vector<AttrId>{})));
+}
+
+TEST(SchemaTest, ToStringShowsAttrs) {
+  EXPECT_EQ(Schema({0, 2}).ToString(), "(x0, x2)");
+  EXPECT_EQ(Schema(std::vector<AttrId>{}).ToString(), "()");
+}
+
+TEST(RelationTest, AddAndAccess) {
+  Relation r{Schema({0, 1})};
+  EXPECT_TRUE(r.empty());
+  r.AddTuple({1, 2});
+  r.AddTuple({3, 4});
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_EQ(r.at(0, 0), 1);
+  EXPECT_EQ(r.at(1, 1), 4);
+  EXPECT_EQ(r.row(1)[0], 3);
+}
+
+TEST(RelationTest, ContainsTuple) {
+  Relation r{Schema({0, 1}), {{1, 2}, {3, 4}}};
+  EXPECT_TRUE(r.ContainsTuple(std::vector<Value>{1, 2}));
+  EXPECT_FALSE(r.ContainsTuple(std::vector<Value>{2, 1}));
+}
+
+TEST(RelationTest, NullaryRelationHoldsOneBit) {
+  Relation r{Schema(std::vector<AttrId>{})};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+  r.AddTuple(std::span<const Value>{});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.size(), 1);
+  r.AddTuple(std::span<const Value>{});  // idempotent
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(RelationTest, DeduplicateInPlace) {
+  Relation r{Schema({0}), {{1}, {2}, {1}, {2}, {3}}};
+  r.DeduplicateInPlace();
+  EXPECT_EQ(r.size(), 3);
+  EXPECT_TRUE(r.ContainsTuple(std::vector<Value>{1}));
+  EXPECT_TRUE(r.ContainsTuple(std::vector<Value>{2}));
+  EXPECT_TRUE(r.ContainsTuple(std::vector<Value>{3}));
+}
+
+TEST(RelationTest, SetEqualsIgnoresRowAndColumnOrder) {
+  Relation a{Schema({0, 1}), {{1, 2}, {3, 4}}};
+  Relation b{Schema({1, 0}), {{4, 3}, {2, 1}}};  // columns swapped
+  EXPECT_TRUE(a.SetEquals(b));
+
+  Relation c{Schema({0, 1}), {{1, 2}}};
+  EXPECT_FALSE(a.SetEquals(c));
+  Relation d{Schema({0, 2}), {{1, 2}, {3, 4}}};  // different attr set
+  EXPECT_FALSE(a.SetEquals(d));
+}
+
+TEST(RelationTest, SetEqualsTreatsDuplicatesAsSets) {
+  Relation a{Schema({0}), {{1}, {1}, {2}}};
+  Relation b{Schema({0}), {{2}, {1}}};
+  EXPECT_TRUE(a.SetEquals(b));
+}
+
+TEST(RelationTest, NullarySetEquals) {
+  Relation a{Schema(std::vector<AttrId>{})};
+  Relation b{Schema(std::vector<AttrId>{})};
+  EXPECT_TRUE(a.SetEquals(b));
+  a.AddTuple(std::span<const Value>{});
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+TEST(RelationTest, ToStringListsRows) {
+  Relation r{Schema({0}), {{5}}};
+  EXPECT_EQ(r.ToString(), "(x0) [1 rows]\n  (5)");
+}
+
+TEST(DatabaseTest, PutGetAndNames) {
+  Database db;
+  EXPECT_FALSE(db.Contains("edge"));
+  db.Put("edge", Relation{Schema({0, 1}), {{1, 2}}});
+  db.Put("alpha", Relation{Schema({0})});
+  ASSERT_TRUE(db.Contains("edge"));
+  Result<const Relation*> r = db.Get("edge");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->size(), 1);
+  EXPECT_EQ(db.Names(), (std::vector<std::string>{"alpha", "edge"}));
+  EXPECT_EQ(db.relation_count(), 2);
+}
+
+TEST(DatabaseTest, GetMissingIsNotFound) {
+  Database db;
+  Result<const Relation*> r = db.Get("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, PutReplaces) {
+  Database db;
+  db.Put("r", Relation{Schema({0}), {{1}}});
+  db.Put("r", Relation{Schema({0}), {{1}, {2}}});
+  EXPECT_EQ((*db.Get("r"))->size(), 2);
+  EXPECT_EQ(db.relation_count(), 1);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "graph/generators.h"
+#include "relational/ops.h"
+#include "relational/sort_merge.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+Relation R(std::vector<AttrId> attrs,
+           std::initializer_list<std::vector<Value>> rows) {
+  return Relation{Schema(std::move(attrs)), rows};
+}
+
+TEST(SortMergeJoinTest, MatchesHashJoinOnFixtures) {
+  ExecContext ctx;
+  Relation left = R({0, 1}, {{1, 2}, {3, 4}, {5, 2}});
+  Relation right = R({1, 2}, {{2, 9}, {2, 8}, {4, 7}});
+  Relation hash = NaturalJoin(left, right, ctx);
+  Relation merge = SortMergeJoin(left, right, ctx);
+  EXPECT_TRUE(hash.SetEquals(merge));
+  EXPECT_EQ(merge.size(), 5);  // (1,2)x2, (5,2)x2, (3,4)x1
+}
+
+TEST(SortMergeJoinTest, CartesianWhenNoSharedAttrs) {
+  ExecContext ctx;
+  Relation left = R({0}, {{1}, {2}});
+  Relation right = R({1}, {{7}, {8}, {9}});
+  Relation out = SortMergeJoin(left, right, ctx);
+  EXPECT_EQ(out.size(), 6);
+}
+
+TEST(SortMergeJoinTest, EmptyInputs) {
+  ExecContext ctx;
+  Relation left = R({0, 1}, {});
+  Relation right = R({1, 2}, {{1, 2}});
+  EXPECT_TRUE(SortMergeJoin(left, right, ctx).empty());
+  EXPECT_TRUE(SortMergeJoin(right, left, ctx).empty());
+}
+
+TEST(SortMergeJoinTest, MultiAttributeKeys) {
+  ExecContext ctx;
+  Relation left = R({0, 1, 2}, {{1, 2, 3}, {1, 2, 4}, {9, 9, 9}});
+  Relation right = R({1, 2, 3}, {{2, 3, 7}, {2, 4, 8}});
+  Relation hash = NaturalJoin(left, right, ctx);
+  Relation merge = SortMergeJoin(left, right, ctx);
+  EXPECT_TRUE(hash.SetEquals(merge));
+  EXPECT_EQ(merge.size(), 2);
+}
+
+TEST(SortMergeJoinTest, RespectsBudget) {
+  ExecContext ctx(/*tuple_budget=*/3);
+  Relation left = R({0}, {{1}, {2}, {3}});
+  Relation right = R({1}, {{7}, {8}});
+  SortMergeJoin(left, right, ctx);
+  EXPECT_TRUE(ctx.exhausted());
+}
+
+class JoinAlgorithmAgreementTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(JoinAlgorithmAgreementTest, RandomRelationsAgree) {
+  Rng rng(GetParam());
+  ExecContext ctx;
+  Relation a{Schema({0, 1, 2})};
+  Relation b{Schema({1, 2, 3})};
+  for (int i = 0; i < 40; ++i) {
+    a.AddTuple({rng.NextInt(0, 3), rng.NextInt(0, 3), rng.NextInt(0, 3)});
+    b.AddTuple({rng.NextInt(0, 3), rng.NextInt(0, 3), rng.NextInt(0, 3)});
+  }
+  a.DeduplicateInPlace();
+  b.DeduplicateInPlace();
+  EXPECT_TRUE(NaturalJoin(a, b, ctx).SetEquals(SortMergeJoin(a, b, ctx)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAlgorithmAgreementTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(ExecutorJoinAlgorithmTest, WholePlansAgree) {
+  Database db;
+  AddColoringRelations(3, &db);
+  Rng rng(21);
+  Graph g = ConnectedRandomGraph(9, 16, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  Plan plan = BucketEliminationPlanMcs(q, &rng);
+
+  ExecutionOptions hash_options;
+  ExecutionOptions merge_options;
+  merge_options.join_algorithm = JoinAlgorithm::kSortMerge;
+
+  ExecutionResult hash = ExecutePlanWithOptions(q, plan, db, hash_options);
+  ExecutionResult merge = ExecutePlanWithOptions(q, plan, db, merge_options);
+  ASSERT_TRUE(hash.status.ok());
+  ASSERT_TRUE(merge.status.ok());
+  EXPECT_TRUE(hash.output.SetEquals(merge.output));
+  // Identical plans produce identical tuple counts under both algorithms.
+  EXPECT_EQ(hash.stats.tuples_produced, merge.stats.tuples_produced);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+#include "sql/sql_generator.h"
+
+namespace ppr {
+namespace {
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(NaiveSqlTest, PentagonMatchesAppendixStructure) {
+  ConjunctiveQuery q = PentagonQuery();
+  std::string sql = NaiveSql(q);
+  // Appendix A.1 shape: SELECT first occurrence of v1, flat FROM list,
+  // WHERE equalities chaining each variable to its first occurrence.
+  EXPECT_NE(sql.find("SELECT DISTINCT e1.v1"), std::string::npos);
+  EXPECT_NE(sql.find("edge e1 (v1, v2)"), std::string::npos);
+  EXPECT_NE(sql.find("edge e2 (v1, v5)"), std::string::npos);
+  EXPECT_NE(sql.find("edge e5 (v2, v3)"), std::string::npos);
+  EXPECT_NE(sql.find("e1.v1 = e2.v1"), std::string::npos);
+  EXPECT_NE(sql.find("e2.v5 = e3.v5"), std::string::npos);
+  EXPECT_NE(sql.find("e3.v4 = e4.v4"), std::string::npos);
+  EXPECT_NE(sql.find("e1.v2 = e5.v2"), std::string::npos);
+  EXPECT_NE(sql.find("e4.v3 = e5.v3"), std::string::npos);
+  // Exactly the 5 equalities of Appendix A.1.
+  EXPECT_EQ(CountOccurrences(sql, " = "), 5);
+  // No JOIN keywords: naive leaves ordering entirely to the planner.
+  EXPECT_EQ(CountOccurrences(sql, "JOIN"), 0);
+}
+
+TEST(NaiveSqlTest, RepeatedVariableEquatesColumns) {
+  ConjunctiveQuery q({Atom{"edge", {0, 0}}}, {0});
+  std::string sql = NaiveSql(q);
+  EXPECT_NE(sql.find("edge e1 (v1, v1_2)"), std::string::npos);
+  EXPECT_NE(sql.find("e1.v1 = e1.v1_2"), std::string::npos);
+}
+
+TEST(NaiveSqlTest, BooleanQuerySelectsConstant) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {});
+  std::string sql = NaiveSql(q);
+  EXPECT_NE(sql.find("SELECT DISTINCT 1"), std::string::npos);
+}
+
+TEST(PlanToSqlTest, StraightforwardHasNoSubqueries) {
+  ConjunctiveQuery q = PentagonQuery();
+  std::string sql = PlanToSql(q, StraightforwardPlan(q));
+  // One outer SELECT, joins forced by parentheses, no inner SELECTs.
+  EXPECT_EQ(CountOccurrences(sql, "SELECT DISTINCT"), 1);
+  EXPECT_EQ(CountOccurrences(sql, "JOIN"), 4);  // 5 atoms, 4 joins
+  EXPECT_NE(sql.find("edge e1 (v1, v2)"), std::string::npos);
+  EXPECT_EQ(sql.back(), ';');
+}
+
+TEST(PlanToSqlTest, EarlyProjectionNestsSubqueries) {
+  ConjunctiveQuery q = PentagonQuery();
+  std::string sql = PlanToSql(q, EarlyProjectionPlan(q));
+  // Projection pushing appears as nested SELECT DISTINCT subqueries named
+  // t1, t2, ... (Appendix A.3 style).
+  EXPECT_GT(CountOccurrences(sql, "SELECT DISTINCT"), 1);
+  EXPECT_NE(sql.find(") AS t"), std::string::npos);
+}
+
+TEST(PlanToSqlTest, SubqueryCountMatchesProjectingNodes) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = BucketEliminationPlanMcs(q, nullptr);
+  int projecting = 0;
+  std::vector<const PlanNode*> stack = {plan.root()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->Projects()) ++projecting;
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  std::string sql = PlanToSql(q, plan);
+  // The root SELECT plus one subquery per non-root projecting node.
+  const int root_projects = plan.root()->Projects() ? 1 : 0;
+  EXPECT_EQ(CountOccurrences(sql, "SELECT DISTINCT"),
+            1 + projecting - root_projects);
+}
+
+TEST(PlanToSqlTest, CartesianChildrenJoinOnTrue) {
+  // Two disjoint edges force a join with no shared columns.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {2, 3}}}, {0});
+  std::string sql = PlanToSql(q, StraightforwardPlan(q));
+  EXPECT_NE(sql.find("ON (TRUE)"), std::string::npos);
+}
+
+TEST(PlanToSqlTest, JoinConditionsReferenceSharedAttrs) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}}, {0});
+  std::string sql = PlanToSql(q, StraightforwardPlan(q));
+  EXPECT_NE(sql.find("e1.v2 = e2.v2"), std::string::npos);
+}
+
+TEST(PlanToSqlTest, SingleAtomQuery) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {1});
+  std::string sql = PlanToSql(q, StraightforwardPlan(q));
+  EXPECT_NE(sql.find("SELECT DISTINCT e1.v2"), std::string::npos);
+  EXPECT_NE(sql.find("FROM"), std::string::npos);
+}
+
+TEST(PlanToSqlTest, AllStrategiesRenderForLadder) {
+  ConjunctiveQuery q = KColorQuery(Ladder(3));
+  std::vector<Plan> plans;
+  plans.push_back(StraightforwardPlan(q));
+  plans.push_back(EarlyProjectionPlan(q));
+  plans.push_back(ReorderingPlan(q, nullptr));
+  plans.push_back(BucketEliminationPlanMcs(q, nullptr));
+  for (const Plan& plan : plans) {
+    std::string sql = PlanToSql(q, plan);
+    EXPECT_GE(CountOccurrences(sql, "edge e"), q.num_atoms());
+    EXPECT_EQ(sql.back(), ';');
+  }
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+
+namespace ppr {
+namespace {
+
+TEST(StraightforwardTest, LeftDeepNoIntermediateProjection) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = StraightforwardPlan(q);
+  ASSERT_TRUE(ValidatePlan(q, plan).ok());
+  // Width = all 5 attributes: nothing is projected before the end.
+  EXPECT_EQ(plan.Width(), 5);
+  // Only the root projects.
+  int projecting = 0;
+  std::vector<const PlanNode*> stack = {plan.root()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->Projects()) ++projecting;
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  EXPECT_EQ(projecting, 1);
+}
+
+TEST(StraightforwardTest, SingleAtomQuery) {
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0});
+  Plan plan = StraightforwardPlan(q);
+  EXPECT_TRUE(ValidatePlan(q, plan).ok());
+  EXPECT_EQ(plan.Width(), 2);
+}
+
+TEST(EarlyProjectionTest, PentagonWidthDropsToThree) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = EarlyProjectionPlan(q);
+  ASSERT_TRUE(ValidatePlan(q, plan).ok());
+  // Appendix A.3: intermediates keep at most 3 live vars at once.
+  EXPECT_LE(plan.Width(), 4);
+  EXPECT_LT(plan.Width(), StraightforwardPlan(q).Width());
+}
+
+TEST(EarlyProjectionTest, AugmentedPathNaturalOrderIsGood) {
+  // The lexicographic edge order visits each pendant right after its path
+  // vertex, so liveness stays bounded regardless of order size.
+  for (int order : {4, 8, 16}) {
+    ConjunctiveQuery q = KColorQuery(AugmentedPath(order));
+    Plan plan = EarlyProjectionPlan(q);
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    EXPECT_LE(plan.Width(), 4) << "order " << order;
+    // Straightforward keeps everything: width = number of vertices.
+    EXPECT_EQ(StraightforwardPlan(q).Width(), 2 * order);
+  }
+}
+
+TEST(EarlyProjectionTest, ExplicitOrderValidated) {
+  ConjunctiveQuery q = PentagonQuery();
+  std::vector<int> perm = {4, 3, 2, 1, 0};
+  Plan plan = EarlyProjectionPlanWithOrder(q, perm);
+  EXPECT_TRUE(ValidatePlan(q, plan).ok());
+}
+
+TEST(GreedyReorderTest, ProducesPermutation) {
+  Rng rng(11);
+  ConjunctiveQuery q = KColorQuery(AugmentedLadder(4));
+  std::vector<int> order = GreedyReorder(q, &rng);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(GreedyReorderTest, PrefersAtomsWithDyingVars) {
+  // Pendant edges have a variable that occurs nowhere else; the greedy
+  // heuristic must start with one of them.
+  ConjunctiveQuery q = KColorQuery(AugmentedPath(5));
+  std::vector<int> order = GreedyReorder(q, nullptr);
+  const Atom& first = q.atoms()[static_cast<size_t>(order.front())];
+  // A pendant edge touches a vertex of degree 1, i.e. one of its two attrs
+  // occurs in exactly one atom.
+  int single_occurrence = 0;
+  for (AttrId a : first.DistinctAttrs()) {
+    int count = 0;
+    for (const Atom& atom : q.atoms()) count += atom.UsesAttr(a);
+    if (count == 1) ++single_occurrence;
+  }
+  EXPECT_GE(single_occurrence, 1);
+}
+
+TEST(GreedyReorderTest, DeterministicWithoutRng) {
+  ConjunctiveQuery q = KColorQuery(AugmentedLadder(3));
+  EXPECT_EQ(GreedyReorder(q, nullptr), GreedyReorder(q, nullptr));
+}
+
+TEST(ReorderingTest, ValidOnRandomGraphs) {
+  Rng rng(13);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = RandomGraph(10, 20, rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    Plan plan = ReorderingPlan(q, &rng);
+    EXPECT_TRUE(ValidatePlan(q, plan).ok());
+  }
+}
+
+TEST(BucketEliminationTest, ValidAndNarrowOnPentagon) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = BucketEliminationPlanMcs(q, nullptr);
+  ASSERT_TRUE(ValidatePlan(q, plan).ok());
+  // Pentagon join graph is C5: treewidth 2, so join width 3 is achievable
+  // and MCS finds it on cycles.
+  EXPECT_EQ(plan.Width(), 3);
+}
+
+TEST(BucketEliminationTest, ExplicitNumberingControlsWidth) {
+  // Star query: center variable 0, leaves 1..4. Eliminating the center
+  // first (numbering it last... highest) joins everything at once.
+  std::vector<Atom> atoms;
+  for (AttrId leaf = 1; leaf <= 4; ++leaf) {
+    atoms.push_back(Atom{"edge", {0, leaf}});
+  }
+  ConjunctiveQuery q(atoms, {1});
+
+  // Numbering with center last => center eliminated first => width 5.
+  Plan wide = BucketEliminationPlan(q, {1, 2, 3, 4, 0});
+  ASSERT_TRUE(ValidatePlan(q, wide).ok());
+  EXPECT_EQ(wide.Width(), 5);
+
+  // Numbering with center first => leaves eliminated first => width 2.
+  Plan narrow = BucketEliminationPlan(q, {1, 0, 2, 3, 4});
+  ASSERT_TRUE(ValidatePlan(q, narrow).ok());
+  EXPECT_EQ(narrow.Width(), 2);
+}
+
+TEST(BucketEliminationTest, WidthMatchesInducedWidthPlusOne) {
+  // For any numbering, the bucket join over variable x_i has schema
+  // {x_i} + its lower neighbors in the induced graph — so plan width is
+  // exactly the elimination game's induced width + 1 (Theorem 2's view).
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = RandomGraph(9, rng.NextInt(8, 20), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    const Graph jg = BuildJoinGraph(q);
+    std::vector<int> numbering = MaxCardinalityNumbering(jg, q.free_vars(),
+                                                         nullptr);
+    std::vector<AttrId> attrs(numbering.begin(), numbering.end());
+    Plan plan = BucketEliminationPlan(q, attrs);
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+
+    EliminationOrder elim(numbering.rbegin(), numbering.rend());
+    EXPECT_EQ(plan.Width(), InducedWidth(jg, elim) + 1) << g.ToString();
+  }
+}
+
+TEST(BucketEliminationTest, NonBooleanKeepsFreeVars) {
+  Rng rng(19);
+  Graph g = Ladder(5);
+  ConjunctiveQuery q = KColorQueryNonBoolean(g, 0.2, rng);
+  Plan plan = BucketEliminationPlanMcs(q, &rng);
+  ASSERT_TRUE(ValidatePlan(q, plan).ok());
+  std::vector<AttrId> target = q.free_vars();
+  std::sort(target.begin(), target.end());
+  EXPECT_EQ(plan.root()->projected, target);
+}
+
+TEST(BucketEliminationTest, DisconnectedQueryJoinsAtRoot) {
+  // Two disjoint edges; the second component's result must meet the first
+  // at the root join.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}, Atom{"edge", {2, 3}}}, {0});
+  Plan plan = BucketEliminationPlanMcs(q, nullptr);
+  EXPECT_TRUE(ValidatePlan(q, plan).ok());
+}
+
+TEST(TreewidthPlanTest, OptimalOrderRealizesTheoremOneBound) {
+  // Theorem 1: join width = tw(G_Q) + 1. With the exact optimal
+  // elimination order, TreewidthPlan must realize it.
+  for (auto make : {+[] { return Cycle(6); }, +[] { return Ladder(4); },
+                    +[] { return AugmentedPath(5); }}) {
+    Graph g = make();
+    ConjunctiveQuery q = KColorQuery(g);
+    const Graph jg = BuildJoinGraph(q);
+    Plan plan = TreewidthPlan(q, ExactOptimalOrder(jg));
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    EXPECT_LE(plan.Width(), ExactTreewidth(jg) + 1);
+  }
+}
+
+TEST(AllStrategiesTest, WidthsOrderedOnAugmentedCircularLadder) {
+  // The paper's hardest family: bucket elimination must beat the
+  // straightforward width dramatically.
+  ConjunctiveQuery q = KColorQuery(AugmentedCircularLadder(6));
+  const int sf = StraightforwardPlan(q).Width();
+  const int be = BucketEliminationPlanMcs(q, nullptr).Width();
+  EXPECT_EQ(sf, 24);  // all 4*6 vertices stay live
+  EXPECT_LE(be, 8);   // treewidth-4 graph; MCS stays close
+  EXPECT_LT(be, sf);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "core/theory.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+// --- Algorithm 1: plan -> tree decomposition ----------------------------
+
+class Algorithm1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Algorithm1Test, EveryStrategyPlanYieldsValidDecomposition) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(6, 12);
+  const int m = rng.NextInt(n, std::min(2 * n, n * (n - 1) / 2));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  ConjunctiveQuery q = KColorQuery(g);
+  const Graph join_graph = BuildJoinGraph(q);
+
+  std::vector<Plan> plans;
+  plans.push_back(StraightforwardPlan(q));
+  plans.push_back(EarlyProjectionPlan(q));
+  plans.push_back(ReorderingPlan(q, &rng));
+  plans.push_back(BucketEliminationPlanMcs(q, &rng));
+  for (const Plan& plan : plans) {
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    TreeDecomposition td = PlanToTreeDecomposition(q, plan);
+    // Lemma 1: a valid decomposition of the join graph with width = plan
+    // width - 1.
+    EXPECT_TRUE(ValidateTreeDecomposition(join_graph, td).ok())
+        << g.ToString();
+    EXPECT_EQ(td.width(), plan.Width() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1Test,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// --- Algorithm 2: Mark-and-Sweep ----------------------------------------
+
+TEST(MarkAndSweepTest, KeepsAtomCoverageAndNeverWidens) {
+  Rng rng(50);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = ConnectedRandomGraph(10, rng.NextInt(9, 20), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    const Graph jg = BuildJoinGraph(q);
+    TreeDecomposition td =
+        DecompositionFromOrder(jg, McsEliminationOrder(jg, {}, &rng));
+    ASSERT_TRUE(ValidateTreeDecomposition(jg, td).ok());
+
+    SimplifiedDecomposition sd = MarkAndSweep(q, td);
+    EXPECT_LE(sd.td.width(), td.width());  // Lemma 2: width never grows
+    // Every atom's bag still covers the atom.
+    for (int ai = 0; ai < q.num_atoms(); ++ai) {
+      std::vector<AttrId> attrs =
+          q.atoms()[static_cast<size_t>(ai)].DistinctAttrs();
+      std::sort(attrs.begin(), attrs.end());
+      const auto& bag = sd.td.bags[static_cast<size_t>(
+          sd.atom_bag[static_cast<size_t>(ai)])];
+      for (AttrId a : attrs) {
+        EXPECT_TRUE(std::binary_search(bag.begin(), bag.end(), a));
+      }
+    }
+    // The root bag covers the target schema.
+    std::vector<AttrId> target = q.free_vars();
+    const auto& root = sd.td.bags[static_cast<size_t>(sd.root_bag)];
+    for (AttrId a : target) {
+      EXPECT_TRUE(std::binary_search(root.begin(), root.end(), a));
+    }
+    // The simplified tree is still a tree.
+    EXPECT_EQ(sd.td.edges.size(),
+              static_cast<size_t>(sd.td.num_bags() - 1));
+  }
+}
+
+TEST(MarkAndSweepTest, DropsIrrelevantBags) {
+  // A decomposition padded with a useless pendant bag: sweep removes it.
+  ConjunctiveQuery q({Atom{"edge", {0, 1}}}, {0});
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1}};  // second bag adds nothing
+  td.edges = {{0, 1}};
+  SimplifiedDecomposition sd = MarkAndSweep(q, td);
+  EXPECT_EQ(sd.td.num_bags(), 1);
+  EXPECT_EQ(sd.atom_bag[0], 0);
+}
+
+// --- Algorithm 3: tree decomposition -> plan (Lemma 3) ------------------
+
+class Algorithm3Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Algorithm3Test, DecompositionYieldsValidPlanWithinWidthBound) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(6, 12);
+  const int m = rng.NextInt(n, std::min(2 * n, n * (n - 1) / 2));
+  Graph g = ConnectedRandomGraph(n, m, rng);
+  // Exercise Boolean and non-Boolean targets.
+  ConjunctiveQuery q = (GetParam() % 2 == 0)
+                           ? KColorQuery(g)
+                           : KColorQueryNonBoolean(g, 0.2, rng);
+  const Graph jg = BuildJoinGraph(q);
+
+  for (int heuristic = 0; heuristic < 2; ++heuristic) {
+    EliminationOrder order = heuristic == 0
+                                 ? McsEliminationOrder(jg, q.free_vars(), &rng)
+                                 : MinFillOrder(jg, q.free_vars());
+    TreeDecomposition td = DecompositionFromOrder(jg, order);
+    ASSERT_TRUE(ValidateTreeDecomposition(jg, td).ok());
+    Plan plan = PlanFromTreeDecomposition(q, td);
+    ASSERT_TRUE(ValidatePlan(q, plan).ok()) << g.ToString();
+    EXPECT_LE(plan.Width(), td.width() + 1);  // Lemma 3
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm3Test,
+                         ::testing::Range<uint64_t>(20, 40));
+
+// --- Theorem 1 round trip ------------------------------------------------
+
+TEST(TheoremOneTest, JoinWidthEqualsTreewidthPlusOneOnSmallGraphs) {
+  // With the exact optimal elimination order, Algorithm 3 realizes join
+  // width tw + 1; Algorithm 1 on that plan certifies a decomposition of
+  // width tw. Together: join width = tw(G_Q) + 1.
+  Rng rng(77);
+  for (int i = 0; i < 8; ++i) {
+    const int n = rng.NextInt(5, 10);
+    Graph g = ConnectedRandomGraph(
+        n, rng.NextInt(n - 1, std::min(2 * n, n * (n - 1) / 2)), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    const Graph jg = BuildJoinGraph(q);
+    const int tw = ExactTreewidth(jg);
+
+    Plan plan = TreewidthPlan(q, ExactOptimalOrder(jg));
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    EXPECT_LE(plan.Width(), tw + 1);
+
+    // Round trip: the plan certifies the treewidth upper bound again.
+    TreeDecomposition back = PlanToTreeDecomposition(q, plan);
+    EXPECT_TRUE(ValidateTreeDecomposition(jg, back).ok());
+    EXPECT_LE(back.width(), tw);
+    // And no plan can beat tw + 1 (lower bound direction): any valid plan
+    // converts to a decomposition, so width >= tw + 1.
+    EXPECT_GE(plan.Width(), tw + 1);
+  }
+}
+
+// --- Theorem 2: induced width = treewidth --------------------------------
+
+TEST(TheoremTwoTest, BucketEliminationWidthMatchesEliminationGame) {
+  Rng rng(88);
+  for (int i = 0; i < 8; ++i) {
+    const int n = rng.NextInt(5, 10);
+    Graph g = ConnectedRandomGraph(
+        n, rng.NextInt(n - 1, std::min(2 * n, n * (n - 1) / 2)), rng);
+    ConjunctiveQuery q = KColorQuery(g);
+    const Graph jg = BuildJoinGraph(q);
+
+    // Optimal order: bucket elimination achieves treewidth + 1 working
+    // width, i.e. induced width (projected arity) = treewidth.
+    EliminationOrder best = ExactOptimalOrder(jg);
+    // Keep the free variable last to satisfy the strategy contract: move
+    // it to the end of the elimination order.
+    const AttrId free_var = q.free_vars()[0];
+    EliminationOrder adjusted;
+    for (int v : best) {
+      if (v != free_var) adjusted.push_back(v);
+    }
+    adjusted.push_back(free_var);
+    const int width = InducedWidth(jg, adjusted);
+
+    std::vector<AttrId> numbering(adjusted.rbegin(), adjusted.rend());
+    Plan plan = BucketEliminationPlan(q, numbering);
+    ASSERT_TRUE(ValidatePlan(q, plan).ok());
+    EXPECT_EQ(plan.Width(), width + 1);
+    EXPECT_GE(width, ExactTreewidth(jg));
+  }
+}
+
+}  // namespace
+}  // namespace ppr

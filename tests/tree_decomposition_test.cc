@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+#include "graph/tree_decomposition.h"
+
+namespace ppr {
+namespace {
+
+TEST(TreeDecompositionTest, WidthIsMaxBagMinusOne) {
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2, 3}, {3}};
+  td.edges = {{0, 1}, {1, 2}};
+  EXPECT_EQ(td.width(), 2);
+  EXPECT_EQ(td.num_bags(), 3);
+}
+
+TEST(TreeDecompositionTest, FindCoveringBag) {
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2, 3}};
+  td.edges = {{0, 1}};
+  EXPECT_EQ(td.FindCoveringBag({1, 2}), 1);
+  EXPECT_EQ(td.FindCoveringBag({0}), 0);
+  EXPECT_EQ(td.FindCoveringBag({0, 3}), -1);
+}
+
+TEST(ValidateTest, AcceptsHandBuiltDecomposition) {
+  // Path 0-1-2 with bags {0,1},{1,2}.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}};
+  td.edges = {{0, 1}};
+  EXPECT_TRUE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(ValidateTest, RejectsUncoveredVertex) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}};
+  td.edges = {};
+  // Vertex 2 missing from all bags.
+  EXPECT_FALSE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(ValidateTest, RejectsUncoveredEdge) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {2, 0}};  // triangle needs one bag with all 3
+  td.edges = {{0, 1}, {1, 2}};
+  Status s = ValidateTreeDecomposition(g, td);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ValidateTest, RejectsDisconnectedOccurrence) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {0}};  // 0 appears in bags 0 and 2,
+  td.edges = {{0, 1}, {1, 2}};      // but not in the middle bag 1
+  EXPECT_FALSE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(ValidateTest, RejectsNonTreeShape) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {0, 1}};
+  td.edges = {};  // two bags, zero edges: not a tree
+  EXPECT_FALSE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(ValidateTest, RejectsUnsortedBag) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{1, 0}};
+  td.edges = {};
+  EXPECT_FALSE(ValidateTreeDecomposition(g, td).ok());
+}
+
+class FromOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FromOrderTest, RandomGraphsYieldValidDecompositions) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(5, 14);
+  const int max_edges = n * (n - 1) / 2;
+  const int m = rng.NextInt(n - 1, std::min(3 * n, max_edges));
+  Graph g = RandomGraph(n, m, rng);
+
+  for (auto maker : {&McsEliminationOrder}) {
+    EliminationOrder order = maker(g, {}, &rng);
+    TreeDecomposition td = DecompositionFromOrder(g, order);
+    ASSERT_TRUE(ValidateTreeDecomposition(g, td).ok()) << g.ToString();
+    EXPECT_EQ(td.width(), InducedWidth(g, order));
+    EXPECT_EQ(td.num_bags(), n);
+  }
+  for (auto maker : {&MinDegreeOrder, &MinFillOrder}) {
+    EliminationOrder order = maker(g, {});
+    TreeDecomposition td = DecompositionFromOrder(g, order);
+    ASSERT_TRUE(ValidateTreeDecomposition(g, td).ok());
+    EXPECT_EQ(td.width(), InducedWidth(g, order));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FromOrderTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(FromOrderTest, DisconnectedGraphStillOneTree) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);  // vertex 4, 5 isolated
+  EliminationOrder order = {0, 1, 2, 3, 4, 5};
+  TreeDecomposition td = DecompositionFromOrder(g, order);
+  EXPECT_TRUE(ValidateTreeDecomposition(g, td).ok());
+}
+
+TEST(FromOrderTest, StructuredFamiliesWidths) {
+  // Ladders and augmented ladders have treewidth 2; a good order should
+  // realize it, and the decomposition must validate.
+  for (int order : {3, 6, 10}) {
+    for (const Graph& g :
+         {Ladder(order), AugmentedLadder(order), AugmentedPath(order)}) {
+      EliminationOrder eo = MinFillOrder(g, {});
+      TreeDecomposition td = DecompositionFromOrder(g, eo);
+      ASSERT_TRUE(ValidateTreeDecomposition(g, td).ok());
+      EXPECT_LE(td.width(), 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppr

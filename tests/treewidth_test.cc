@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+
+namespace ppr {
+namespace {
+
+TEST(ExactTreewidthTest, KnownValues) {
+  // Path: treewidth 1.
+  Graph path(6);
+  for (int i = 0; i < 5; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(ExactTreewidth(path), 1);
+
+  EXPECT_EQ(ExactTreewidth(Cycle(6)), 2);
+  EXPECT_EQ(ExactTreewidth(Complete(5)), 4);
+  EXPECT_EQ(ExactTreewidth(Ladder(4)), 2);
+  EXPECT_EQ(ExactTreewidth(AugmentedPath(4)), 1);  // a tree
+  EXPECT_EQ(ExactTreewidth(AugmentedLadder(3)), 2);
+
+  // Single vertex and edgeless graphs.
+  EXPECT_EQ(ExactTreewidth(Graph(1)), 0);
+  EXPECT_EQ(ExactTreewidth(Graph(4)), 0);
+}
+
+TEST(ExactTreewidthTest, CircularLadders) {
+  // Closing the rails of a ladder into cycles raises the treewidth:
+  // the 3-prism and the cube (4-prism) have treewidth 3, and wider
+  // circular ladders have treewidth 4; pendants change nothing.
+  EXPECT_EQ(ExactTreewidth(AugmentedCircularLadder(3)), 3);
+  EXPECT_EQ(ExactTreewidth(AugmentedCircularLadder(4)), 3);
+}
+
+TEST(ExactTreewidthTest, CompleteBipartite) {
+  // K_{3,3} has treewidth 3.
+  Graph g(6);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) g.AddEdge(a, b);
+  }
+  EXPECT_EQ(ExactTreewidth(g), 3);
+}
+
+TEST(ExactOptimalOrderTest, OrderAchievesTreewidth) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    const int n = rng.NextInt(4, 11);
+    Graph g = RandomGraph(n, rng.NextInt(n - 1, n * (n - 1) / 2), rng);
+    const int tw = ExactTreewidth(g);
+    EliminationOrder order = ExactOptimalOrder(g);
+    EXPECT_EQ(InducedWidth(g, order), tw) << g.ToString();
+  }
+}
+
+TEST(MmdLowerBoundTest, BoundsHold) {
+  Rng rng(23);
+  for (int i = 0; i < 15; ++i) {
+    const int n = rng.NextInt(4, 11);
+    Graph g = RandomGraph(n, rng.NextInt(n - 1, n * (n - 1) / 2), rng);
+    const int tw = ExactTreewidth(g);
+    EXPECT_LE(MmdLowerBound(g), tw) << g.ToString();
+  }
+}
+
+TEST(MmdLowerBoundTest, TightOnCliques) {
+  EXPECT_EQ(MmdLowerBound(Complete(6)), 5);
+  EXPECT_EQ(ExactTreewidth(Complete(6)), 5);
+}
+
+class HeuristicVsExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeuristicVsExactTest, HeuristicOrdersNeverBeatExact) {
+  Rng rng(GetParam());
+  const int n = rng.NextInt(5, 12);
+  const int m = rng.NextInt(n - 1, std::min(3 * n, n * (n - 1) / 2));
+  Graph g = RandomGraph(n, m, rng);
+  const int tw = ExactTreewidth(g);
+
+  EXPECT_GE(InducedWidth(g, McsEliminationOrder(g, {}, &rng)), tw);
+  EXPECT_GE(InducedWidth(g, MinDegreeOrder(g, {})), tw);
+  EXPECT_GE(InducedWidth(g, MinFillOrder(g, {})), tw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicVsExactTest,
+                         ::testing::Range<uint64_t>(100, 125));
+
+}  // namespace
+}  // namespace ppr
