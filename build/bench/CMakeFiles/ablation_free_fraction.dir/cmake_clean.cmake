@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_free_fraction.dir/ablation_free_fraction.cc.o"
+  "CMakeFiles/ablation_free_fraction.dir/ablation_free_fraction.cc.o.d"
+  "ablation_free_fraction"
+  "ablation_free_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_free_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_algorithms.dir/ablation_join_algorithms.cc.o"
+  "CMakeFiles/ablation_join_algorithms.dir/ablation_join_algorithms.cc.o.d"
+  "ablation_join_algorithms"
+  "ablation_join_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

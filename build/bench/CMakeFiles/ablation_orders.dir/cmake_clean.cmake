@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_orders.dir/ablation_orders.cc.o"
+  "CMakeFiles/ablation_orders.dir/ablation_orders.cc.o.d"
+  "ablation_orders"
+  "ablation_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

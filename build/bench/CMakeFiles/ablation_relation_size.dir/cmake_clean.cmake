@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relation_size.dir/ablation_relation_size.cc.o"
+  "CMakeFiles/ablation_relation_size.dir/ablation_relation_size.cc.o.d"
+  "ablation_relation_size"
+  "ablation_relation_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relation_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

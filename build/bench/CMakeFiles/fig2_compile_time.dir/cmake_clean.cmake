@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_compile_time.dir/fig2_compile_time.cc.o"
+  "CMakeFiles/fig2_compile_time.dir/fig2_compile_time.cc.o.d"
+  "fig2_compile_time"
+  "fig2_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_density_scaling.dir/fig3_density_scaling.cc.o"
+  "CMakeFiles/fig3_density_scaling.dir/fig3_density_scaling.cc.o.d"
+  "fig3_density_scaling"
+  "fig3_density_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_density_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

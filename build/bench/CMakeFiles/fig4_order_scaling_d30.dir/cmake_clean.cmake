@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_order_scaling_d30.dir/fig4_order_scaling_d30.cc.o"
+  "CMakeFiles/fig4_order_scaling_d30.dir/fig4_order_scaling_d30.cc.o.d"
+  "fig4_order_scaling_d30"
+  "fig4_order_scaling_d30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_order_scaling_d30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

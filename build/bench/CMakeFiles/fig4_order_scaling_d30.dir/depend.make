@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_order_scaling_d30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_order_scaling_d60.dir/fig5_order_scaling_d60.cc.o"
+  "CMakeFiles/fig5_order_scaling_d60.dir/fig5_order_scaling_d60.cc.o.d"
+  "fig5_order_scaling_d60"
+  "fig5_order_scaling_d60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_order_scaling_d60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_order_scaling_d60.
+# This may be replaced when dependencies are built.

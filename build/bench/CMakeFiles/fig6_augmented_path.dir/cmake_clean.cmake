@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_augmented_path.dir/fig6_augmented_path.cc.o"
+  "CMakeFiles/fig6_augmented_path.dir/fig6_augmented_path.cc.o.d"
+  "fig6_augmented_path"
+  "fig6_augmented_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_augmented_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

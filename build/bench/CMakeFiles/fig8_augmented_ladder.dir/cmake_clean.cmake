@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_augmented_ladder.dir/fig8_augmented_ladder.cc.o"
+  "CMakeFiles/fig8_augmented_ladder.dir/fig8_augmented_ladder.cc.o.d"
+  "fig8_augmented_ladder"
+  "fig8_augmented_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_augmented_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_augmented_circular_ladder.dir/fig9_augmented_circular_ladder.cc.o"
+  "CMakeFiles/fig9_augmented_circular_ladder.dir/fig9_augmented_circular_ladder.cc.o.d"
+  "fig9_augmented_circular_ladder"
+  "fig9_augmented_circular_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_augmented_circular_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

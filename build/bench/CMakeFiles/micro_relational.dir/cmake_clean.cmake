@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_relational.dir/micro_relational.cc.o"
+  "CMakeFiles/micro_relational.dir/micro_relational.cc.o.d"
+  "micro_relational"
+  "micro_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

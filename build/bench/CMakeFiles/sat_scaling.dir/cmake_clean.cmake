@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_scaling.dir/sat_scaling.cc.o"
+  "CMakeFiles/sat_scaling.dir/sat_scaling.cc.o.d"
+  "sat_scaling"
+  "sat_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_coloring.dir/graph_coloring.cpp.o"
+  "CMakeFiles/graph_coloring.dir/graph_coloring.cpp.o.d"
+  "graph_coloring"
+  "graph_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/query_minimizer.cpp" "examples/CMakeFiles/query_minimizer.dir/query_minimizer.cpp.o" "gcc" "examples/CMakeFiles/query_minimizer.dir/query_minimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/ppr_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/ppr_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/ppr_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ppr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/ppr_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ppr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimize/CMakeFiles/ppr_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/optsearch/CMakeFiles/ppr_optsearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ppr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ppr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ppr_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

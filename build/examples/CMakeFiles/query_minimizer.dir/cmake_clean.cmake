@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_minimizer.dir/query_minimizer.cpp.o"
+  "CMakeFiles/query_minimizer.dir/query_minimizer.cpp.o.d"
+  "query_minimizer"
+  "query_minimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

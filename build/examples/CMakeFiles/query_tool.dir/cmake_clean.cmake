@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tool.dir/query_tool.cpp.o"
+  "CMakeFiles/query_tool.dir/query_tool.cpp.o.d"
+  "query_tool"
+  "query_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

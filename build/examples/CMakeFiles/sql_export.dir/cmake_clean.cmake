@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_export.dir/sql_export.cpp.o"
+  "CMakeFiles/sql_export.dir/sql_export.cpp.o.d"
+  "sql_export"
+  "sql_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_explorer.dir/width_explorer.cpp.o"
+  "CMakeFiles/width_explorer.dir/width_explorer.cpp.o.d"
+  "width_explorer"
+  "width_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("graph")
+subdirs("query")
+subdirs("encode")
+subdirs("core")
+subdirs("exec")
+subdirs("minimize")
+subdirs("csp")
+subdirs("hyper")
+subdirs("io")
+subdirs("sql")
+subdirs("optsearch")
+subdirs("benchlib")

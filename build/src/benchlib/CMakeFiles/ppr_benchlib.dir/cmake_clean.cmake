@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_benchlib.dir/figures.cc.o"
+  "CMakeFiles/ppr_benchlib.dir/figures.cc.o.d"
+  "CMakeFiles/ppr_benchlib.dir/harness.cc.o"
+  "CMakeFiles/ppr_benchlib.dir/harness.cc.o.d"
+  "libppr_benchlib.a"
+  "libppr_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_common.dir/rng.cc.o"
+  "CMakeFiles/ppr_common.dir/rng.cc.o.d"
+  "CMakeFiles/ppr_common.dir/status.cc.o"
+  "CMakeFiles/ppr_common.dir/status.cc.o.d"
+  "libppr_common.a"
+  "libppr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

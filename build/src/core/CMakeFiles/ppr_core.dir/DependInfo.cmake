@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/ppr_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/ppr_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/ppr_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/ppr_core.dir/strategies.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/ppr_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/ppr_core.dir/theory.cc.o.d"
+  "/root/repo/src/core/weighted.cc" "src/core/CMakeFiles/ppr_core.dir/weighted.cc.o" "gcc" "src/core/CMakeFiles/ppr_core.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ppr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ppr_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_core.dir/plan.cc.o"
+  "CMakeFiles/ppr_core.dir/plan.cc.o.d"
+  "CMakeFiles/ppr_core.dir/strategies.cc.o"
+  "CMakeFiles/ppr_core.dir/strategies.cc.o.d"
+  "CMakeFiles/ppr_core.dir/theory.cc.o"
+  "CMakeFiles/ppr_core.dir/theory.cc.o.d"
+  "CMakeFiles/ppr_core.dir/weighted.cc.o"
+  "CMakeFiles/ppr_core.dir/weighted.cc.o.d"
+  "libppr_core.a"
+  "libppr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

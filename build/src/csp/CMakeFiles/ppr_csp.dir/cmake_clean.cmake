@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_csp.dir/csp.cc.o"
+  "CMakeFiles/ppr_csp.dir/csp.cc.o.d"
+  "libppr_csp.a"
+  "libppr_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/kcolor.cc" "src/encode/CMakeFiles/ppr_encode.dir/kcolor.cc.o" "gcc" "src/encode/CMakeFiles/ppr_encode.dir/kcolor.cc.o.d"
+  "/root/repo/src/encode/reference.cc" "src/encode/CMakeFiles/ppr_encode.dir/reference.cc.o" "gcc" "src/encode/CMakeFiles/ppr_encode.dir/reference.cc.o.d"
+  "/root/repo/src/encode/sat.cc" "src/encode/CMakeFiles/ppr_encode.dir/sat.cc.o" "gcc" "src/encode/CMakeFiles/ppr_encode.dir/sat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ppr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ppr_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

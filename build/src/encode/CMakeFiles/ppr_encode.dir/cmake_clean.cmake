@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_encode.dir/kcolor.cc.o"
+  "CMakeFiles/ppr_encode.dir/kcolor.cc.o.d"
+  "CMakeFiles/ppr_encode.dir/reference.cc.o"
+  "CMakeFiles/ppr_encode.dir/reference.cc.o.d"
+  "CMakeFiles/ppr_encode.dir/sat.cc.o"
+  "CMakeFiles/ppr_encode.dir/sat.cc.o.d"
+  "libppr_encode.a"
+  "libppr_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_exec.dir/executor.cc.o"
+  "CMakeFiles/ppr_exec.dir/executor.cc.o.d"
+  "CMakeFiles/ppr_exec.dir/explain.cc.o"
+  "CMakeFiles/ppr_exec.dir/explain.cc.o.d"
+  "CMakeFiles/ppr_exec.dir/minibuckets.cc.o"
+  "CMakeFiles/ppr_exec.dir/minibuckets.cc.o.d"
+  "CMakeFiles/ppr_exec.dir/semijoin_pass.cc.o"
+  "CMakeFiles/ppr_exec.dir/semijoin_pass.cc.o.d"
+  "libppr_exec.a"
+  "libppr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

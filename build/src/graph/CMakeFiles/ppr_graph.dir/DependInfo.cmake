@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/elimination.cc" "src/graph/CMakeFiles/ppr_graph.dir/elimination.cc.o" "gcc" "src/graph/CMakeFiles/ppr_graph.dir/elimination.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/ppr_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/ppr_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/ppr_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/ppr_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/tree_decomposition.cc" "src/graph/CMakeFiles/ppr_graph.dir/tree_decomposition.cc.o" "gcc" "src/graph/CMakeFiles/ppr_graph.dir/tree_decomposition.cc.o.d"
+  "/root/repo/src/graph/treewidth.cc" "src/graph/CMakeFiles/ppr_graph.dir/treewidth.cc.o" "gcc" "src/graph/CMakeFiles/ppr_graph.dir/treewidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

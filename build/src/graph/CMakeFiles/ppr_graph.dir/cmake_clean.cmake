@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_graph.dir/elimination.cc.o"
+  "CMakeFiles/ppr_graph.dir/elimination.cc.o.d"
+  "CMakeFiles/ppr_graph.dir/generators.cc.o"
+  "CMakeFiles/ppr_graph.dir/generators.cc.o.d"
+  "CMakeFiles/ppr_graph.dir/graph.cc.o"
+  "CMakeFiles/ppr_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ppr_graph.dir/tree_decomposition.cc.o"
+  "CMakeFiles/ppr_graph.dir/tree_decomposition.cc.o.d"
+  "CMakeFiles/ppr_graph.dir/treewidth.cc.o"
+  "CMakeFiles/ppr_graph.dir/treewidth.cc.o.d"
+  "libppr_graph.a"
+  "libppr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

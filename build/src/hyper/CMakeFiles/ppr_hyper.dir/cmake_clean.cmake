@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_hyper.dir/hypergraph.cc.o"
+  "CMakeFiles/ppr_hyper.dir/hypergraph.cc.o.d"
+  "libppr_hyper.a"
+  "libppr_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

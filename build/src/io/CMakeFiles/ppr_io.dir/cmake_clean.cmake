@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_io.dir/dimacs.cc.o"
+  "CMakeFiles/ppr_io.dir/dimacs.cc.o.d"
+  "CMakeFiles/ppr_io.dir/dot.cc.o"
+  "CMakeFiles/ppr_io.dir/dot.cc.o.d"
+  "libppr_io.a"
+  "libppr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppr_io.a"
+)

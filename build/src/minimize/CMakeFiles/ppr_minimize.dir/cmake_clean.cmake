@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_minimize.dir/minimize.cc.o"
+  "CMakeFiles/ppr_minimize.dir/minimize.cc.o.d"
+  "libppr_minimize.a"
+  "libppr_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_optsearch.dir/cost_model.cc.o"
+  "CMakeFiles/ppr_optsearch.dir/cost_model.cc.o.d"
+  "CMakeFiles/ppr_optsearch.dir/plan_search.cc.o"
+  "CMakeFiles/ppr_optsearch.dir/plan_search.cc.o.d"
+  "libppr_optsearch.a"
+  "libppr_optsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_optsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

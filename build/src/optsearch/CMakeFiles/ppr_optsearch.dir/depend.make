@@ -1,0 +1,2 @@
+# Empty dependencies file for ppr_optsearch.
+# This may be replaced when dependencies are built.

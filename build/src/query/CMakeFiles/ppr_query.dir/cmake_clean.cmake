@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_query.dir/conjunctive_query.cc.o"
+  "CMakeFiles/ppr_query.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/ppr_query.dir/parser.cc.o"
+  "CMakeFiles/ppr_query.dir/parser.cc.o.d"
+  "libppr_query.a"
+  "libppr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_relational.dir/database.cc.o"
+  "CMakeFiles/ppr_relational.dir/database.cc.o.d"
+  "CMakeFiles/ppr_relational.dir/ops.cc.o"
+  "CMakeFiles/ppr_relational.dir/ops.cc.o.d"
+  "CMakeFiles/ppr_relational.dir/relation.cc.o"
+  "CMakeFiles/ppr_relational.dir/relation.cc.o.d"
+  "CMakeFiles/ppr_relational.dir/schema.cc.o"
+  "CMakeFiles/ppr_relational.dir/schema.cc.o.d"
+  "CMakeFiles/ppr_relational.dir/sort_merge.cc.o"
+  "CMakeFiles/ppr_relational.dir/sort_merge.cc.o.d"
+  "libppr_relational.a"
+  "libppr_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/sql_generator.cc" "src/sql/CMakeFiles/ppr_sql.dir/sql_generator.cc.o" "gcc" "src/sql/CMakeFiles/ppr_sql.dir/sql_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ppr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/ppr_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_sql.dir/sql_generator.cc.o"
+  "CMakeFiles/ppr_sql.dir/sql_generator.cc.o.d"
+  "libppr_sql.a"
+  "libppr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_test.dir/elimination_test.cc.o"
+  "CMakeFiles/elimination_test.dir/elimination_test.cc.o.d"
+  "elimination_test"
+  "elimination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

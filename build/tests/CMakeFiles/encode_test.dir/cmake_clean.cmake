@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encode_test.dir/encode_test.cc.o"
+  "CMakeFiles/encode_test.dir/encode_test.cc.o.d"
+  "encode_test"
+  "encode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minibuckets_test.dir/minibuckets_test.cc.o"
+  "CMakeFiles/minibuckets_test.dir/minibuckets_test.cc.o.d"
+  "minibuckets_test"
+  "minibuckets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minibuckets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsearch_test.dir/optsearch_test.cc.o"
+  "CMakeFiles/optsearch_test.dir/optsearch_test.cc.o.d"
+  "optsearch_test"
+  "optsearch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_fuzz_test.dir/plan_fuzz_test.cc.o"
+  "CMakeFiles/plan_fuzz_test.dir/plan_fuzz_test.cc.o.d"
+  "plan_fuzz_test"
+  "plan_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

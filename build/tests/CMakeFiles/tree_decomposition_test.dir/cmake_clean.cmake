@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_decomposition_test.dir/tree_decomposition_test.cc.o"
+  "CMakeFiles/tree_decomposition_test.dir/tree_decomposition_test.cc.o.d"
+  "tree_decomposition_test"
+  "tree_decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
