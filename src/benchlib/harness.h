@@ -33,13 +33,15 @@ Plan BuildStrategyPlan(StrategyKind kind, const ConjunctiveQuery& query,
 
 /// One measured run of a strategy on a query.
 struct StrategyRun {
-  double plan_seconds = 0.0;  // time to construct the plan ("compile")
-  double exec_seconds = 0.0;  // execution time (the paper's y-axis)
-  bool timed_out = false;     // tuple budget exhausted
-  bool nonempty = false;      // Boolean answer (valid when !timed_out)
+  double plan_seconds = 0.0;     // time to construct the logical plan
+  double compile_seconds = 0.0;  // logical -> physical lowering time
+  double exec_seconds = 0.0;     // execution time (the paper's y-axis)
+  bool timed_out = false;        // tuple budget exhausted
+  bool nonempty = false;         // Boolean answer (valid when !timed_out)
   Counter tuples_produced = 0;
   Counter max_intermediate_rows = 0;
-  int plan_width = 0;  // static join width of the executed plan
+  Counter peak_bytes = 0;  // largest operator scratch+output footprint
+  int plan_width = 0;      // static join width of the executed plan
 };
 
 /// Plans and executes `kind` on (query, db) under a tuple budget.

@@ -1,0 +1,25 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace ppr {
+
+void* ExecArena::AllocateSlow(size_t bytes) {
+  // Walk forward through already-reserved blocks (they are kept across
+  // Reset/Restore) before reserving a new one.
+  size_t next = blocks_.empty() ? 0 : cur_ + 1;
+  while (next < blocks_.size() && block_sizes_[next] < bytes) ++next;
+  if (next == blocks_.size()) {
+    const size_t last = block_sizes_.empty() ? 0 : block_sizes_.back();
+    const size_t size = std::max({kMinBlockBytes, last * 2, bytes});
+    blocks_.push_back(std::make_unique_for_overwrite<std::byte[]>(size));
+    block_sizes_.push_back(size);
+  }
+  cur_ = next;
+  offset_ = bytes;
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  return blocks_[cur_].get();
+}
+
+}  // namespace ppr

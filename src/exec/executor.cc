@@ -2,48 +2,10 @@
 
 #include <utility>
 
-#include "common/check.h"
-#include "common/timer.h"
 #include "core/strategies.h"
-#include "relational/ops.h"
-#include "relational/sort_merge.h"
+#include "exec/physical_plan.h"
 
 namespace ppr {
-namespace {
-
-// Bottom-up evaluation. Returns an empty relation once the context is
-// exhausted; the caller turns that into RESOURCE_EXHAUSTED.
-Relation EvalNode(const ConjunctiveQuery& query, const PlanNode* node,
-                  const Database& db, JoinAlgorithm join_algorithm,
-                  ExecContext& ctx) {
-  if (node->IsLeaf()) {
-    const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
-    Result<const Relation*> stored = db.Get(atom.relation);
-    PPR_CHECK(stored.ok());  // Validate() runs before execution
-    Relation bound = BindAtom(**stored, atom.args, ctx);
-    if (node->Projects() && !ctx.exhausted()) {
-      return Project(bound, node->projected, ctx);
-    }
-    return bound;
-  }
-
-  Relation acc =
-      EvalNode(query, node->children.front().get(), db, join_algorithm, ctx);
-  for (size_t i = 1; i < node->children.size() && !ctx.exhausted(); ++i) {
-    Relation next =
-        EvalNode(query, node->children[i].get(), db, join_algorithm, ctx);
-    if (ctx.exhausted()) break;
-    acc = join_algorithm == JoinAlgorithm::kSortMerge
-              ? SortMergeJoin(acc, next, ctx)
-              : NaturalJoin(acc, next, ctx);
-  }
-  if (node->Projects() && !ctx.exhausted()) {
-    return Project(acc, node->projected, ctx);
-  }
-  return acc;
-}
-
-}  // namespace
 
 ExecutionResult ExecutePlan(const ConjunctiveQuery& query, const Plan& plan,
                             const Database& db, Counter tuple_budget) {
@@ -55,30 +17,14 @@ ExecutionResult ExecutePlan(const ConjunctiveQuery& query, const Plan& plan,
 ExecutionResult ExecutePlanWithOptions(const ConjunctiveQuery& query,
                                        const Plan& plan, const Database& db,
                                        const ExecutionOptions& options) {
-  ExecutionResult result;
-  if (plan.empty()) {
-    result.status = Status::InvalidArgument("empty plan");
+  Result<PhysicalPlan> compiled =
+      PhysicalPlan::Compile(query, plan, db, options.join_algorithm);
+  if (!compiled.ok()) {
+    ExecutionResult result;
+    result.status = compiled.status();
     return result;
   }
-  Status valid = query.Validate(db);
-  if (!valid.ok()) {
-    result.status = valid;
-    return result;
-  }
-
-  ExecContext ctx(options.tuple_budget);
-  WallTimer timer;
-  Relation output =
-      EvalNode(query, plan.root(), db, options.join_algorithm, ctx);
-  result.seconds = timer.ElapsedSeconds();
-  result.stats = ctx.stats();
-  if (ctx.exhausted()) {
-    result.status = Status::ResourceExhausted("tuple budget exceeded");
-  } else {
-    result.status = Status::Ok();
-    result.output = std::move(output);
-  }
-  return result;
+  return compiled->Execute(options.tuple_budget);
 }
 
 ExecutionResult ExecuteStraightforward(const ConjunctiveQuery& query,

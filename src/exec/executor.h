@@ -48,6 +48,10 @@ struct ExecutionResult {
 /// right and then apply the node's projection (with DISTINCT) when the
 /// projected label is a strict subset of the working label.
 ///
+/// Implemented by compiling to a PhysicalPlan (exec/physical_plan.h) and
+/// executing it once; callers that run the same plan repeatedly should
+/// compile once themselves and call PhysicalPlan::Execute per run.
+///
 /// `tuple_budget` bounds total tuples produced across all operators; when
 /// exceeded the result carries RESOURCE_EXHAUSTED (the deterministic
 /// stand-in for the paper's timeouts).

@@ -104,6 +104,9 @@ std::string ExplainResult::ToString() const {
         << "]  est=" << p.estimated_rows << " actual=" << p.actual_rows
         << "\n";
   }
+  out << "-- tuples_produced=" << stats.tuples_produced
+      << " max_intermediate_rows=" << stats.max_intermediate_rows
+      << " peak_bytes=" << stats.peak_bytes << "\n";
   return out.str();
 }
 
@@ -137,6 +140,7 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   Estimate est;
   EvalProfiled(query, plan.root(), db, domain_size, 0, ctx, &result.nodes,
                &est);
+  result.stats = ctx.stats();
   if (ctx.exhausted()) {
     result.status = Status::ResourceExhausted("tuple budget exceeded");
   }

@@ -9,6 +9,7 @@
 #include "core/plan.h"
 #include "query/conjunctive_query.h"
 #include "relational/database.h"
+#include "relational/exec_context.h"
 
 namespace ppr {
 
@@ -32,8 +33,12 @@ struct ExplainResult {
   Status status;
   /// Pre-order (root first) node profiles.
   std::vector<NodeProfile> nodes;
+  /// Aggregate work counters of the profiled run (tuples produced,
+  /// largest intermediate, peak operator scratch+output bytes).
+  ExecStats stats;
 
-  /// Indented EXPLAIN ANALYZE-style rendering.
+  /// Indented EXPLAIN ANALYZE-style rendering, followed by a summary
+  /// line with the aggregate counters.
   std::string ToString() const;
 
   /// max(actual/estimate, estimate/actual) over profiled nodes (empty

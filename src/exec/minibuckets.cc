@@ -129,6 +129,7 @@ MiniBucketResult MiniBucketEliminate(const ConjunctiveQuery& query,
       if (ctx.exhausted()) break;
       if (!is_free(var) && acc.schema().Contains(var)) {
         std::vector<AttrId> keep;
+        keep.reserve(static_cast<size_t>(acc.arity()) - 1);
         for (AttrId a : acc.schema().attrs()) {
           if (a != var) keep.push_back(a);
         }

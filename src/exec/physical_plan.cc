@@ -1,0 +1,115 @@
+#include "exec/physical_plan.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "relational/sort_merge.h"
+
+namespace ppr {
+namespace {
+
+// Lowers one logical node. Schemas are derived exactly as the seed
+// interpreter derived them at runtime: a leaf's schema is the atom's
+// distinct attributes (then the optional projection), an internal node's
+// schema is the left-to-right fold of its children's output schemas.
+std::unique_ptr<PhysicalNode> CompileNode(const ConjunctiveQuery& query,
+                                          const PlanNode* node,
+                                          const Database& db) {
+  auto phys = std::make_unique<PhysicalNode>();
+  Schema working;
+  if (node->IsLeaf()) {
+    const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
+    Result<const Relation*> stored = db.Get(atom.relation);
+    PPR_CHECK(stored.ok());  // Validate() runs before compilation
+    phys->stored = *stored;
+    phys->scan = PlanScan(phys->stored->arity(), atom.args);
+    working = phys->scan.out_schema;
+  } else {
+    phys->children.reserve(node->children.size());
+    for (const auto& child : node->children) {
+      phys->children.push_back(CompileNode(query, child.get(), db));
+    }
+    working = phys->children.front()->output_schema;
+    phys->joins.reserve(phys->children.size() - 1);
+    for (size_t i = 1; i < phys->children.size(); ++i) {
+      JoinSpec spec = PlanJoin(working, phys->children[i]->output_schema);
+      working = spec.out_schema;
+      phys->joins.push_back(std::move(spec));
+    }
+  }
+  if (node->Projects()) {
+    phys->has_project = true;
+    phys->project = PlanProject(working, node->projected);
+    phys->output_schema = phys->project.out_schema;
+  } else {
+    phys->output_schema = std::move(working);
+  }
+  return phys;
+}
+
+// Bottom-up evaluation with the exact control flow of the seed
+// interpreter (executor.cc's EvalNode), so budget-exhaustion skip
+// behavior — and therefore every statistic — is preserved bit for bit.
+Relation Exec(const PhysicalNode& node, JoinAlgorithm join_algorithm,
+              ExecContext& ctx) {
+  if (node.IsLeaf()) {
+    Relation bound = ScanAtom(*node.stored, node.scan, ctx);
+    if (node.has_project && !ctx.exhausted()) {
+      return ProjectColumns(bound, node.project, ctx);
+    }
+    return bound;
+  }
+
+  Relation acc = Exec(*node.children.front(), join_algorithm, ctx);
+  for (size_t i = 1; i < node.children.size() && !ctx.exhausted(); ++i) {
+    Relation next = Exec(*node.children[i], join_algorithm, ctx);
+    if (ctx.exhausted()) break;
+    acc = join_algorithm == JoinAlgorithm::kSortMerge
+              ? SortMergeJoin(acc, next, ctx)
+              : HashJoin(acc, next, node.joins[i - 1], ctx);
+  }
+  if (node.has_project && !ctx.exhausted()) {
+    return ProjectColumns(acc, node.project, ctx);
+  }
+  return acc;
+}
+
+int CountNodes(const PhysicalNode& node) {
+  int n = 1;
+  for (const auto& child : node.children) n += CountNodes(*child);
+  return n;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
+                                           const Plan& plan,
+                                           const Database& db,
+                                           JoinAlgorithm join_algorithm) {
+  if (plan.empty()) return Status::InvalidArgument("empty plan");
+  Status valid = query.Validate(db);
+  if (!valid.ok()) return valid;
+  return PhysicalPlan(CompileNode(query, plan.root(), db), join_algorithm);
+}
+
+ExecutionResult PhysicalPlan::Execute(Counter tuple_budget) {
+  ExecutionResult result;
+  arena_.Reset();
+  ExecContext ctx(tuple_budget, &arena_);
+  WallTimer timer;
+  Relation output = Exec(*root_, join_algorithm_, ctx);
+  result.seconds = timer.ElapsedSeconds();
+  result.stats = ctx.stats();
+  if (ctx.exhausted()) {
+    result.status = Status::ResourceExhausted("tuple budget exceeded");
+  } else {
+    result.status = Status::Ok();
+    result.output = std::move(output);
+  }
+  return result;
+}
+
+int PhysicalPlan::NumNodes() const { return CountNodes(*root_); }
+
+}  // namespace ppr

@@ -1,0 +1,100 @@
+#ifndef PPR_EXEC_PHYSICAL_PLAN_H_
+#define PPR_EXEC_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/plan.h"
+#include "exec/executor.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/ops.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// One logical plan node lowered to physical form: stored-relation
+/// pointers, scan bindings, join column maps, and projection masks are
+/// all resolved at compile time, so execution never touches schemas,
+/// attribute ids, or the catalog.
+struct PhysicalNode {
+  /// Leaf: the stored relation captured from the database, plus the atom
+  /// binding (rename / repeated-attribute selection).
+  const Relation* stored = nullptr;
+  ScanSpec scan;
+
+  /// Internal: children are folded left to right; joins[i-1] holds the
+  /// precomputed column maps for (acc after children[0..i-1]) |><|
+  /// children[i]. The accumulated schema is static, so every fold step
+  /// compiles exactly once.
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+  std::vector<JoinSpec> joins;
+
+  /// Trailing projection for nodes whose projected label is a strict
+  /// subset of the working label.
+  bool has_project = false;
+  ProjectSpec project;
+
+  /// Schema of this node's output relation.
+  Schema output_schema;
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+/// A plan compiled once against (query, plan, database) and executable
+/// many times. Compilation precomputes, per node, the output schema,
+/// build/probe key columns, payload copy maps, and projection masks;
+/// Execute() is then pure data movement through the flat-hash kernels of
+/// relational/ops.h, with operator scratch bump-allocated from an arena
+/// whose blocks are recycled across operators *and* across runs.
+///
+/// The logical plan's semantics are untouched: Execute() performs the
+/// same operators in the same order with the same budget/statistics
+/// behavior as the seed interpreter, so tuples_produced,
+/// max_intermediate_arity, and the answer relation are identical.
+///
+/// The database must outlive the physical plan (leaves capture pointers
+/// to its stored relations); re-Put-ing a relation invalidates compiled
+/// plans against it.
+class PhysicalPlan {
+ public:
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+  PhysicalPlan(const PhysicalPlan&) = delete;
+  PhysicalPlan& operator=(const PhysicalPlan&) = delete;
+
+  /// Compiles `plan` for `query` against `db`. Fails with InvalidArgument
+  /// on an empty plan and propagates query/database validation errors.
+  static Result<PhysicalPlan> Compile(
+      const ConjunctiveQuery& query, const Plan& plan, const Database& db,
+      JoinAlgorithm join_algorithm = JoinAlgorithm::kHash);
+
+  /// Runs the compiled plan under `tuple_budget`. Scratch memory from
+  /// prior runs is reused, so steady-state executions make no heap
+  /// allocations outside the output relations.
+  ExecutionResult Execute(Counter tuple_budget = kCounterMax);
+
+  /// Schema of the answer relation (the root's projected label).
+  const Schema& output_schema() const { return root_->output_schema; }
+
+  /// Number of physical nodes (same shape as the logical plan).
+  int NumNodes() const;
+
+ private:
+  PhysicalPlan(std::unique_ptr<PhysicalNode> root,
+               JoinAlgorithm join_algorithm)
+      : root_(std::move(root)), join_algorithm_(join_algorithm) {}
+
+  std::unique_ptr<PhysicalNode> root_;
+  JoinAlgorithm join_algorithm_;
+  /// Scratch recycled across Execute() calls.
+  ExecArena arena_;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_PHYSICAL_PLAN_H_

@@ -25,16 +25,23 @@ SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
     relations.push_back(BindAtom(*stored, atom.args, ctx));
   }
 
-  // Atoms that share at least one attribute exchange semijoins.
-  std::vector<std::pair<int, int>> overlapping;
+  // Atoms that share at least one attribute exchange semijoins. A
+  // semijoin preserves its target's schema, so the key-column maps are
+  // invariant across fixpoint rounds — compile each direction's spec
+  // once here instead of re-deriving it every round.
+  struct Reduction {
+    int target;
+    int filter;
+    SemiJoinSpec spec;
+  };
+  std::vector<Reduction> reductions;
   for (int i = 0; i < m; ++i) {
     for (int j = i + 1; j < m; ++j) {
-      if (!relations[static_cast<size_t>(i)]
-               .schema()
-               .CommonAttrs(relations[static_cast<size_t>(j)].schema())
-               .empty()) {
-        overlapping.emplace_back(i, j);
-      }
+      const Schema& si = relations[static_cast<size_t>(i)].schema();
+      const Schema& sj = relations[static_cast<size_t>(j)].schema();
+      if (si.CommonAttrs(sj).empty()) continue;
+      reductions.push_back({i, j, PlanSemiJoin(si, sj)});
+      reductions.push_back({j, i, PlanSemiJoin(sj, si)});
     }
   }
 
@@ -42,16 +49,13 @@ SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
   // nothing (or the round bound is hit).
   for (int round = 0; round < max_rounds; ++round) {
     Counter removed_this_round = 0;
-    for (const auto& [i, j] : overlapping) {
-      for (const auto& [from, to] :
-           {std::pair<int, int>{j, i}, std::pair<int, int>{i, j}}) {
-        Relation& target = relations[static_cast<size_t>(to)];
-        const Relation& filter = relations[static_cast<size_t>(from)];
-        const int64_t before = target.size();
-        target = SemiJoin(target, filter, ctx);
-        out.semijoins_performed++;
-        removed_this_round += before - target.size();
-      }
+    for (const Reduction& r : reductions) {
+      Relation& target = relations[static_cast<size_t>(r.target)];
+      const Relation& filter = relations[static_cast<size_t>(r.filter)];
+      const int64_t before = target.size();
+      target = SemiJoinFiltered(target, filter, r.spec, ctx);
+      out.semijoins_performed++;
+      removed_this_round += before - target.size();
     }
     out.tuples_removed += removed_this_round;
     if (removed_this_round == 0) break;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/types.h"
 
 namespace ppr {
@@ -23,16 +24,26 @@ struct ExecStats {
   int max_intermediate_arity = 0;
   /// Largest row count of any operator output.
   Counter max_intermediate_rows = 0;
+  /// Largest memory footprint of any single operator: arena scratch
+  /// (hash tables, packed keys, sort orders) plus materialized output
+  /// bytes. The space-side companion of max_intermediate_rows.
+  Counter peak_bytes = 0;
 
   /// Records an operator output of `rows` rows with `arity` columns.
   void NoteIntermediate(int arity, Counter rows) {
     max_intermediate_arity = std::max(max_intermediate_arity, arity);
     max_intermediate_rows = std::max(max_intermediate_rows, rows);
   }
+
+  /// Records one operator's scratch + output footprint in bytes.
+  void NotePeakBytes(Counter bytes) {
+    peak_bytes = std::max(peak_bytes, bytes);
+  }
 };
 
-/// Execution context shared by the operators of one query run: statistics
-/// plus a tuple budget that bounds total work.
+/// Execution context shared by the operators of one query run: statistics,
+/// a tuple budget that bounds total work, and the scratch arena operators
+/// allocate from.
 ///
 /// The paper's weak strategies "time out" on the harder instances
 /// (Figs. 8-9). We reproduce timeouts deterministically with a budget on
@@ -41,18 +52,34 @@ struct ExecStats {
 /// RESOURCE_EXHAUSTED.
 class ExecContext {
  public:
-  /// Creates a context with an optional budget on tuples produced.
-  explicit ExecContext(Counter tuple_budget = kCounterMax)
-      : tuple_budget_(tuple_budget) {}
+  /// Creates a context with an optional budget on tuples produced. When
+  /// `arena` is non-null the context borrows it (a compiled plan passes
+  /// its own so scratch blocks are recycled across runs); otherwise the
+  /// context owns a private arena living for the context's lifetime.
+  explicit ExecContext(Counter tuple_budget = kCounterMax,
+                       ExecArena* arena = nullptr)
+      : tuple_budget_(tuple_budget), arena_(arena ? arena : &owned_arena_) {}
 
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
+
+  /// Scratch arena for operator-transient memory. Operators bracket their
+  /// use with an ArenaScope so the memory is recycled, not freed.
+  ExecArena& arena() { return *arena_; }
 
   /// True once the tuple budget has been exceeded; all subsequent operator
   /// results are truncated and must be discarded by the caller.
   bool exhausted() const { return exhausted_; }
 
   Counter tuple_budget() const { return tuple_budget_; }
+
+  /// Upper bound on rows any single operator can still emit before the
+  /// budget latches (operators emit one row past the budget, then stop).
+  /// Used to cap output Reserve() calls; kCounterMax when unbudgeted.
+  Counter budget_headroom() const {
+    if (tuple_budget_ == kCounterMax) return kCounterMax;
+    return std::max<Counter>(0, tuple_budget_ - stats_.tuples_produced) + 1;
+  }
 
   /// Charges `n` produced tuples against the budget. Returns false (and
   /// latches exhausted()) when the budget is exceeded.
@@ -66,6 +93,8 @@ class ExecContext {
   ExecStats stats_;
   Counter tuple_budget_;
   bool exhausted_ = false;
+  ExecArena owned_arena_;
+  ExecArena* arena_;
 };
 
 }  // namespace ppr

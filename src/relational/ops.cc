@@ -1,37 +1,28 @@
 #include "relational/ops.h"
 
+#include <algorithm>
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
+#include "relational/flat_hash.h"
 
 namespace ppr {
 namespace {
 
-// FNV-1a over a row of values; good enough for tiny-domain keys.
-struct ValueVecHash {
-  size_t operator()(const std::vector<Value>& v) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (Value x : v) {
-      h ^= static_cast<uint64_t>(static_cast<uint32_t>(x));
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
+// Output vectors are reserved upfront (build x probe for joins, input
+// size elsewhere), clamped by the remaining tuple budget and by a fixed
+// cap so a pessimistic estimate can never balloon the reservation past
+// what a truncated run could actually emit.
+constexpr int64_t kMaxReserveRows = int64_t{1} << 21;
+
+int64_t CappedReserveRows(double estimated_rows, ExecContext& ctx) {
+  double rows = std::min(estimated_rows, static_cast<double>(kMaxReserveRows));
+  const Counter headroom = ctx.budget_headroom();
+  if (headroom < static_cast<Counter>(rows)) {
+    rows = static_cast<double>(headroom);
   }
-};
-
-using RowIndexMap =
-    std::unordered_map<std::vector<Value>, std::vector<int64_t>, ValueVecHash>;
-using RowSet = std::unordered_set<std::vector<Value>, ValueVecHash>;
-
-// Extracts the values of columns `cols` from row `i` of `rel`.
-std::vector<Value> KeyOf(const Relation& rel, int64_t i,
-                         const std::vector<int>& cols) {
-  std::vector<Value> key(cols.size());
-  for (size_t c = 0; c < cols.size(); ++c) key[c] = rel.at(i, cols[c]);
-  return key;
+  return static_cast<int64_t>(rows);
 }
 
 std::vector<int> ColumnIndices(const Schema& schema,
@@ -46,76 +37,186 @@ std::vector<int> ColumnIndices(const Schema& schema,
   return cols;
 }
 
+// Appends one assembled tuple; nullary outputs go through the slow path
+// that flips the nonempty bit.
+inline void Emit(Relation& out, const Value* tuple, int arity) {
+  if (arity > 0) {
+    out.AppendRaw(tuple);
+  } else {
+    out.AddTuple(std::span<const Value>{});
+  }
+}
+
 }  // namespace
 
-Relation NaturalJoin(const Relation& left, const Relation& right,
-                     ExecContext& ctx) {
-  ctx.stats().num_joins++;
-
-  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
-  const std::vector<int> left_key_cols = ColumnIndices(left.schema(), common);
-  const std::vector<int> right_key_cols =
-      ColumnIndices(right.schema(), common);
+JoinSpec PlanJoin(const Schema& left, const Schema& right) {
+  JoinSpec spec;
+  const std::vector<AttrId> common = left.CommonAttrs(right);
+  spec.left_key_cols = ColumnIndices(left, common);
+  spec.right_key_cols = ColumnIndices(right, common);
 
   // Output schema: all of left's attrs, then right-only attrs.
-  std::vector<AttrId> out_attrs = left.schema().attrs();
-  const std::vector<AttrId> right_only =
-      right.schema().AttrsNotIn(left.schema());
+  std::vector<AttrId> out_attrs = left.attrs();
+  const std::vector<AttrId> right_only = right.AttrsNotIn(left);
   out_attrs.insert(out_attrs.end(), right_only.begin(), right_only.end());
-  const std::vector<int> right_carry_cols =
-      ColumnIndices(right.schema(), right_only);
+  spec.right_carry_cols = ColumnIndices(right, right_only);
+  spec.out_schema = Schema(std::move(out_attrs));
+  return spec;
+}
 
-  Relation out{Schema(out_attrs)};
+ProjectSpec PlanProject(const Schema& input,
+                        const std::vector<AttrId>& attrs) {
+  ProjectSpec spec;
+  spec.cols = ColumnIndices(input, attrs);
+  spec.out_schema = Schema(attrs);
+  return spec;
+}
+
+SemiJoinSpec PlanSemiJoin(const Schema& left, const Schema& right) {
+  SemiJoinSpec spec;
+  const std::vector<AttrId> common = left.CommonAttrs(right);
+  spec.left_key_cols = ColumnIndices(left, common);
+  spec.right_key_cols = ColumnIndices(right, common);
+  return spec;
+}
+
+ScanSpec PlanScan(int stored_arity, const std::vector<AttrId>& args) {
+  PPR_CHECK(static_cast<int>(args.size()) == stored_arity);
+  ScanSpec spec;
+  std::vector<AttrId> distinct;
+  for (size_t c = 0; c < args.size(); ++c) {
+    int d = -1;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (distinct[i] == args[c]) {
+        d = static_cast<int>(i);
+        break;
+      }
+    }
+    if (d < 0) {
+      distinct.push_back(args[c]);
+      spec.source_cols.push_back(static_cast<int>(c));
+    } else {
+      spec.equal_checks.emplace_back(static_cast<int>(c),
+                                     spec.source_cols[static_cast<size_t>(d)]);
+    }
+  }
+  spec.out_schema = Schema(std::move(distinct));
+  return spec;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right,
+                  const JoinSpec& spec, ExecContext& ctx) {
+  ctx.stats().num_joins++;
+
+  Relation out{spec.out_schema};
   if (left.empty() || right.empty()) {
     ctx.stats().NoteIntermediate(out.arity(), 0);
     return out;
   }
+
+  ArenaScope scope(ctx.arena());
 
   // Build on the smaller side, probe with the larger.
   const bool build_left = left.size() <= right.size();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
   const std::vector<int>& build_key_cols =
-      build_left ? left_key_cols : right_key_cols;
+      build_left ? spec.left_key_cols : spec.right_key_cols;
   const std::vector<int>& probe_key_cols =
-      build_left ? right_key_cols : left_key_cols;
+      build_left ? spec.right_key_cols : spec.left_key_cols;
 
-  RowIndexMap table;
-  table.reserve(static_cast<size_t>(build.size()));
-  for (int64_t i = 0; i < build.size(); ++i) {
-    table[KeyOf(build, i, build_key_cols)].push_back(i);
+  const JoinIndex index(build, build_key_cols, ctx.arena());
+
+  const int key_width = static_cast<int>(spec.left_key_cols.size());
+  const int left_arity = left.arity();
+  const int right_arity = right.arity();
+  const int out_arity = out.arity();
+  const int probe_arity = probe.arity();
+  const int64_t probe_rows = probe.size();
+  const Value* left_base = left.data();
+  const Value* right_base = right.data();
+  const Value* probe_base = probe.data();
+  const int* probe_key = probe_key_cols.data();
+  const int* carry = spec.right_carry_cols.data();
+  const int num_carry = static_cast<int>(spec.right_carry_cols.size());
+
+  Value* key =
+      ctx.arena().AllocSpan<Value>(std::max(key_width, 1)).data();
+
+  // Exact output size via a counting probe pass: a hash + find per probe
+  // row costs far less than the emit work it sizes, and an exact
+  // reservation removes both realloc copies and per-emit capacity checks
+  // from the loop below.
+  int64_t exact_rows = 0;
+  for (int64_t p = 0; p < probe_rows; ++p) {
+    const Value* probe_row = probe_base + p * probe_arity;
+    for (int c = 0; c < key_width; ++c) key[c] = probe_row[probe_key[c]];
+    exact_rows += static_cast<int64_t>(index.Probe(key).size());
   }
 
-  std::vector<Value> tuple(static_cast<size_t>(out.arity()));
-  for (int64_t p = 0; p < probe.size() && !ctx.exhausted(); ++p) {
-    auto it = table.find(KeyOf(probe, p, probe_key_cols));
-    if (it == table.end()) continue;
-    for (int64_t b : it->second) {
-      const int64_t li = build_left ? b : p;
-      const int64_t ri = build_left ? p : b;
-      for (int c = 0; c < left.arity(); ++c) {
-        tuple[static_cast<size_t>(c)] = left.at(li, c);
+  if (out_arity == 0) {
+    // Nullary output (both inputs nullary): at most the one empty tuple.
+    for (int64_t p = 0; p < probe_rows && !ctx.exhausted(); ++p) {
+      for (int64_t b = 0; b < exact_rows; ++b) {
+        out.AddTuple(std::span<const Value>{});
+        if (!ctx.ChargeTuples(1)) break;
       }
-      for (size_t c = 0; c < right_carry_cols.size(); ++c) {
-        tuple[static_cast<size_t>(left.arity()) + c] =
-            right.at(ri, right_carry_cols[c]);
-      }
-      out.AddTuple(tuple);
-      if (!ctx.ChargeTuples(1)) break;
     }
+  } else {
+    // A truncated run emits at most budget_headroom() rows before the
+    // outer loop sees the exhausted latch, so the cursor never overruns.
+    int64_t reserve_rows = exact_rows;
+    const Counter headroom = ctx.budget_headroom();
+    if (static_cast<Counter>(reserve_rows) > headroom) {
+      reserve_rows = static_cast<int64_t>(headroom);
+    }
+    Value* cursor = out.GrowRows(reserve_rows);
+    int64_t emitted = 0;
+    for (int64_t p = 0; p < probe_rows && !ctx.exhausted(); ++p) {
+      const Value* probe_row = probe_base + p * probe_arity;
+      for (int c = 0; c < key_width; ++c) key[c] = probe_row[probe_key[c]];
+      const std::span<const int64_t> matches = index.Probe(key);
+      if (build_left) {
+        // Probe side is the right input: its carry columns repeat across
+        // every match of this probe row.
+        for (int64_t b : matches) {
+          const Value* left_row = left_base + b * left_arity;
+          for (int c = 0; c < left_arity; ++c) cursor[c] = left_row[c];
+          for (int c = 0; c < num_carry; ++c) {
+            cursor[left_arity + c] = probe_row[carry[c]];
+          }
+          cursor += out_arity;
+          ++emitted;
+          if (!ctx.ChargeTuples(1)) break;
+        }
+      } else {
+        for (int64_t b : matches) {
+          const Value* right_row = right_base + b * right_arity;
+          for (int c = 0; c < left_arity; ++c) cursor[c] = probe_row[c];
+          for (int c = 0; c < num_carry; ++c) {
+            cursor[left_arity + c] = right_row[carry[c]];
+          }
+          cursor += out_arity;
+          ++emitted;
+          if (!ctx.ChargeTuples(1)) break;
+        }
+      }
+    }
+    out.TruncateRows(emitted);
   }
 
+  ctx.stats().NotePeakBytes(
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }
 
-Relation Project(const Relation& input, const std::vector<AttrId>& attrs,
-                 ExecContext& ctx) {
+Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
+                        ExecContext& ctx) {
   ctx.stats().num_projections++;
-  const std::vector<int> cols = ColumnIndices(input.schema(), attrs);
 
-  Relation out{Schema(attrs)};
-  if (attrs.empty()) {
+  Relation out{spec.out_schema};
+  if (spec.cols.empty()) {
     // Boolean projection: nonempty input -> the single empty tuple.
     if (!input.empty()) {
       out.AddTuple(std::span<const Value>{});
@@ -125,94 +226,138 @@ Relation Project(const Relation& input, const std::vector<AttrId>& attrs,
     return out;
   }
 
-  RowSet seen;
-  seen.reserve(static_cast<size_t>(input.size()));
-  for (int64_t i = 0; i < input.size() && !ctx.exhausted(); ++i) {
-    std::vector<Value> key = KeyOf(input, i, cols);
-    if (seen.insert(key).second) {
-      out.AddTuple(key);
+  ArenaScope scope(ctx.arena());
+  const int key_width = static_cast<int>(spec.cols.size());
+  FlatKeyIndex seen(input.size(), key_width, ctx.arena());
+  out.Reserve(CappedReserveRows(static_cast<double>(input.size()), ctx));
+
+  const int in_arity = input.arity();
+  const int64_t in_rows = input.size();
+  const Value* base = input.data();
+  const int* cols = spec.cols.data();
+  Value* key = ctx.arena().AllocSpan<Value>(key_width).data();
+
+  for (int64_t i = 0; i < in_rows && !ctx.exhausted(); ++i) {
+    const Value* row = base + i * in_arity;
+    for (int c = 0; c < key_width; ++c) key[c] = row[cols[c]];
+    bool inserted;
+    seen.InsertOrFind(key, &inserted);
+    if (inserted) {
+      out.AppendRaw(key);
       if (!ctx.ChargeTuples(1)) break;
     }
   }
+
+  ctx.stats().NotePeakBytes(
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
+}
+
+Relation SemiJoinFiltered(const Relation& left, const Relation& right,
+                          const SemiJoinSpec& spec, ExecContext& ctx) {
+  Relation out{left.schema()};
+  if (left.empty()) return out;
+  const bool no_common = spec.left_key_cols.empty();
+  if (no_common && right.empty()) {
+    // No shared attributes: semijoin keeps everything iff right is nonempty.
+    return out;
+  }
+
+  ArenaScope scope(ctx.arena());
+  const int key_width = static_cast<int>(spec.right_key_cols.size());
+  FlatKeyIndex keys(right.size(), key_width, ctx.arena());
+  Value* key = ctx.arena().AllocSpan<Value>(std::max(key_width, 1)).data();
+
+  const int right_arity = right.arity();
+  const int64_t right_rows = right.size();
+  const Value* right_base = right.data();
+  const int* right_key = spec.right_key_cols.data();
+  for (int64_t i = 0; i < right_rows; ++i) {
+    const Value* row = right_base + i * right_arity;
+    for (int c = 0; c < key_width; ++c) key[c] = row[right_key[c]];
+    bool inserted;
+    keys.InsertOrFind(key, &inserted);
+  }
+
+  out.Reserve(CappedReserveRows(static_cast<double>(left.size()), ctx));
+  const int left_arity = left.arity();
+  const int64_t left_rows = left.size();
+  const Value* left_base = left.data();
+  const int* left_key = spec.left_key_cols.data();
+  for (int64_t i = 0; i < left_rows && !ctx.exhausted(); ++i) {
+    const Value* row = left_base + i * left_arity;
+    bool match = no_common;
+    if (!match) {
+      for (int c = 0; c < key_width; ++c) key[c] = row[left_key[c]];
+      match = keys.Find(key) >= 0;
+    }
+    if (match) {
+      Emit(out, row, left_arity);
+      if (!ctx.ChargeTuples(1)) break;
+    }
+  }
+
+  ctx.stats().NotePeakBytes(
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+Relation ScanAtom(const Relation& stored, const ScanSpec& spec,
+                  ExecContext& ctx) {
+  Relation out{spec.out_schema};
+  out.Reserve(CappedReserveRows(static_cast<double>(stored.size()), ctx));
+
+  ArenaScope scope(ctx.arena());
+  const int in_arity = stored.arity();
+  const int out_arity = out.arity();
+  const int64_t in_rows = stored.size();
+  const Value* base = stored.data();
+  const int* source = spec.source_cols.data();
+  Value* tuple = ctx.arena().AllocSpan<Value>(std::max(out_arity, 1)).data();
+
+  for (int64_t i = 0; i < in_rows && !ctx.exhausted(); ++i) {
+    const Value* row = base + i * in_arity;
+    // Repeated attributes must agree with their first occurrence.
+    bool keep = true;
+    for (const auto& [col, first] : spec.equal_checks) {
+      if (row[col] != row[first]) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    for (int d = 0; d < out_arity; ++d) tuple[d] = row[source[d]];
+    Emit(out, tuple, out_arity);
+    if (!ctx.ChargeTuples(1)) break;
+  }
+
+  ctx.stats().NotePeakBytes(
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  ctx.stats().NoteIntermediate(out.arity(), out.size());
+  return out;
+}
+
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     ExecContext& ctx) {
+  return HashJoin(left, right, PlanJoin(left.schema(), right.schema()), ctx);
+}
+
+Relation Project(const Relation& input, const std::vector<AttrId>& attrs,
+                 ExecContext& ctx) {
+  return ProjectColumns(input, PlanProject(input.schema(), attrs), ctx);
 }
 
 Relation SemiJoin(const Relation& left, const Relation& right,
                   ExecContext& ctx) {
-  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
-  const std::vector<int> left_cols = ColumnIndices(left.schema(), common);
-  const std::vector<int> right_cols = ColumnIndices(right.schema(), common);
-
-  Relation out{left.schema()};
-  if (left.empty()) return out;
-  if (common.empty()) {
-    // No shared attributes: semijoin keeps everything iff right is nonempty.
-    if (right.empty()) return out;
-  }
-
-  RowSet keys;
-  keys.reserve(static_cast<size_t>(right.size()));
-  for (int64_t i = 0; i < right.size(); ++i) {
-    keys.insert(KeyOf(right, i, right_cols));
-  }
-  for (int64_t i = 0; i < left.size() && !ctx.exhausted(); ++i) {
-    if (common.empty() || keys.count(KeyOf(left, i, left_cols)) > 0) {
-      out.AddTuple(left.row(i));
-      if (!ctx.ChargeTuples(1)) break;
-    }
-  }
-  ctx.stats().NoteIntermediate(out.arity(), out.size());
-  return out;
+  return SemiJoinFiltered(left, right,
+                          PlanSemiJoin(left.schema(), right.schema()), ctx);
 }
 
 Relation BindAtom(const Relation& stored, const std::vector<AttrId>& args,
                   ExecContext& ctx) {
-  PPR_CHECK(static_cast<int>(args.size()) == stored.arity());
-
-  // Distinct attributes in first-occurrence order, and for each stored
-  // column the output column it maps to (-1 when it is a repeat that only
-  // constrains).
-  std::vector<AttrId> distinct;
-  std::vector<int> first_col_of_distinct;  // column in `stored`
-  for (size_t c = 0; c < args.size(); ++c) {
-    bool seen = false;
-    for (AttrId d : distinct) {
-      if (d == args[c]) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) {
-      distinct.push_back(args[c]);
-      first_col_of_distinct.push_back(static_cast<int>(c));
-    }
-  }
-
-  Relation out{Schema(distinct)};
-  std::vector<Value> tuple(distinct.size());
-  for (int64_t i = 0; i < stored.size() && !ctx.exhausted(); ++i) {
-    // Repeated attributes must agree with their first occurrence.
-    bool keep = true;
-    for (size_t c = 0; c < args.size() && keep; ++c) {
-      for (size_t d = 0; d < distinct.size(); ++d) {
-        if (args[c] == distinct[d] &&
-            stored.at(i, static_cast<int>(c)) !=
-                stored.at(i, first_col_of_distinct[d])) {
-          keep = false;
-          break;
-        }
-      }
-    }
-    if (!keep) continue;
-    for (size_t d = 0; d < distinct.size(); ++d) {
-      tuple[d] = stored.at(i, first_col_of_distinct[d]);
-    }
-    out.AddTuple(tuple);
-    if (!ctx.ChargeTuples(1)) break;
-  }
-  ctx.stats().NoteIntermediate(out.arity(), out.size());
-  return out;
+  return ScanAtom(stored, PlanScan(stored.arity(), args), ctx);
 }
 
 }  // namespace ppr

@@ -1,6 +1,7 @@
 #ifndef PPR_RELATIONAL_OPS_H_
 #define PPR_RELATIONAL_OPS_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -8,6 +9,87 @@
 #include "relational/relation.h"
 
 namespace ppr {
+
+/// The relational operators come in two layers:
+///
+///  - *Specs* (JoinSpec, ProjectSpec, SemiJoinSpec, ScanSpec) hold
+///    everything derivable from schemas alone: output schema, key column
+///    indices, payload copy maps, projection masks. A compiled
+///    PhysicalPlan (exec/physical_plan.h) builds them once per plan node.
+///  - *Kernels* (HashJoin, ProjectColumns, SemiJoinFiltered, ScanAtom)
+///    execute a spec against relations: pure data movement over flat
+///    open-addressing hash tables (relational/flat_hash.h) with all
+///    scratch bump-allocated from the context's ExecArena — zero heap
+///    allocations per probed or emitted row.
+///
+/// The schema-level wrappers below (NaturalJoin, Project, SemiJoin,
+/// BindAtom) build the spec on the fly and invoke the kernel; one-shot
+/// callers (semijoin pass, minibuckets, tests) use those.
+
+/// Precomputed column mappings of a natural join with output schema
+/// `left's attributes ++ right-only attributes`.
+struct JoinSpec {
+  Schema out_schema;
+  /// Indices of the shared attributes in each input (aligned pairwise).
+  std::vector<int> left_key_cols;
+  std::vector<int> right_key_cols;
+  /// Right columns appended after the full left row.
+  std::vector<int> right_carry_cols;
+};
+
+/// Derives the join spec for two input schemas.
+JoinSpec PlanJoin(const Schema& left, const Schema& right);
+
+/// Duplicate-eliminating projection: output columns `cols` of the input,
+/// in the requested attribute order.
+struct ProjectSpec {
+  Schema out_schema;
+  std::vector<int> cols;
+};
+
+/// Derives the projection spec; all `attrs` must exist in `input`.
+ProjectSpec PlanProject(const Schema& input, const std::vector<AttrId>& attrs);
+
+/// Key columns of a semijoin (output schema is the left schema).
+struct SemiJoinSpec {
+  std::vector<int> left_key_cols;
+  std::vector<int> right_key_cols;
+};
+
+/// Derives the semijoin spec for two input schemas.
+SemiJoinSpec PlanSemiJoin(const Schema& left, const Schema& right);
+
+/// Atom binding: maps a stored relation's columns to query attributes,
+/// folding repeated attributes into an equality selection.
+struct ScanSpec {
+  /// Distinct attributes in first-occurrence order.
+  Schema out_schema;
+  /// Stored column providing each output column.
+  std::vector<int> source_cols;
+  /// Pairs (repeat column, first-occurrence column) that must be equal.
+  std::vector<std::pair<int, int>> equal_checks;
+};
+
+/// Derives the scan spec; `args.size()` must equal the stored arity.
+ScanSpec PlanScan(int stored_arity, const std::vector<AttrId>& args);
+
+/// Hash-join kernel: build on the smaller input, probe with the larger.
+/// Respects the tuple budget of `ctx` (output truncated once exhausted).
+Relation HashJoin(const Relation& left, const Relation& right,
+                  const JoinSpec& spec, ExecContext& ctx);
+
+/// Projection kernel (DISTINCT). An empty column list yields a nullary
+/// relation that is nonempty iff the input is (Boolean queries).
+Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
+                        ExecContext& ctx);
+
+/// Semijoin kernel: left tuples with at least one match in right.
+Relation SemiJoinFiltered(const Relation& left, const Relation& right,
+                          const SemiJoinSpec& spec, ExecContext& ctx);
+
+/// Scan kernel: instantiates a stored relation under an atom binding.
+Relation ScanAtom(const Relation& stored, const ScanSpec& spec,
+                  ExecContext& ctx);
 
 /// Natural join: combines tuples of `left` and `right` that agree on all
 /// common attributes. Output schema is left's attributes followed by

@@ -55,6 +55,38 @@ class Relation {
     AddTuple(std::span<const Value>(tuple.begin(), tuple.size()));
   }
 
+  /// Hot-path append of exactly arity() values starting at `src`, without
+  /// per-call length validation. Invalid for nullary relations.
+  void AppendRaw(const Value* src) {
+    PPR_DCHECK(arity() > 0);
+    data_.insert(data_.end(), src, src + arity());
+  }
+
+  /// Raw row-major tuple storage (size() * arity() values).
+  const Value* data() const { return data_.data(); }
+
+  /// Appends `rows` zero-initialized tuples and returns a mutable pointer
+  /// to the first of them, for operators that know their output size and
+  /// fill rows through a raw cursor. Invalid for nullary relations.
+  Value* GrowRows(int64_t rows) {
+    PPR_DCHECK(arity() > 0 && rows >= 0);
+    const size_t old = data_.size();
+    data_.resize(old + static_cast<size_t>(rows * arity()));
+    return data_.data() + old;
+  }
+
+  /// Drops all but the first `rows` tuples (cursor writers that stop
+  /// early shrink back to what they actually filled).
+  void TruncateRows(int64_t rows) {
+    PPR_DCHECK(arity() > 0 && rows >= 0 && rows <= size());
+    data_.resize(static_cast<size_t>(rows * arity()));
+  }
+
+  /// Bytes of tuple storage currently held.
+  int64_t byte_size() const {
+    return static_cast<int64_t>(data_.size() * sizeof(Value));
+  }
+
   /// Reserves storage for `rows` additional tuples.
   void Reserve(int64_t rows) {
     data_.reserve(data_.size() + static_cast<size_t>(rows * arity()));

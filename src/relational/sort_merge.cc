@@ -4,25 +4,28 @@
 #include <numeric>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "relational/ops.h"
 
 namespace ppr {
 namespace {
 
-// Row indices of `rel` sorted lexicographically by the values of `cols`.
-std::vector<int64_t> SortedRowOrder(const Relation& rel,
-                                    const std::vector<int>& cols) {
-  std::vector<int64_t> order(static_cast<size_t>(rel.size()));
-  std::iota(order.begin(), order.end(), 0);
+// Fills `order` with row indices of `rel` sorted lexicographically by the
+// values of `cols`. The index array is arena scratch owned by the caller.
+void SortRowOrder(const Relation& rel, const std::vector<int>& cols,
+                  std::span<int64_t> order) {
+  std::iota(order.begin(), order.end(), int64_t{0});
+  const Value* base = rel.data();
+  const int arity = rel.arity();
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const Value* ra = base + a * arity;
+    const Value* rb = base + b * arity;
     for (int c : cols) {
-      const Value va = rel.at(a, c);
-      const Value vb = rel.at(b, c);
-      if (va != vb) return va < vb;
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
     }
     return a < b;
   });
-  return order;
 }
 
 // -1 / 0 / +1 comparison of the key columns of two rows from two relations.
@@ -37,45 +40,31 @@ int CompareKeys(const Relation& left, int64_t li, const std::vector<int>& lc,
   return 0;
 }
 
-std::vector<int> ColumnIndices(const Schema& schema,
-                               const std::vector<AttrId>& attrs) {
-  std::vector<int> cols;
-  cols.reserve(attrs.size());
-  for (AttrId a : attrs) {
-    const int idx = schema.IndexOf(a);
-    PPR_CHECK(idx >= 0);
-    cols.push_back(idx);
-  }
-  return cols;
-}
-
 }  // namespace
 
 Relation SortMergeJoin(const Relation& left, const Relation& right,
                        ExecContext& ctx) {
   ctx.stats().num_joins++;
 
-  const std::vector<AttrId> common = left.schema().CommonAttrs(right.schema());
-  const std::vector<int> left_cols = ColumnIndices(left.schema(), common);
-  const std::vector<int> right_cols = ColumnIndices(right.schema(), common);
+  const JoinSpec spec = PlanJoin(left.schema(), right.schema());
+  const std::vector<int>& left_cols = spec.left_key_cols;
+  const std::vector<int>& right_cols = spec.right_key_cols;
+  const std::vector<int>& right_carry = spec.right_carry_cols;
 
-  std::vector<AttrId> out_attrs = left.schema().attrs();
-  const std::vector<AttrId> right_only =
-      right.schema().AttrsNotIn(left.schema());
-  out_attrs.insert(out_attrs.end(), right_only.begin(), right_only.end());
-  const std::vector<int> right_carry =
-      ColumnIndices(right.schema(), right_only);
-
-  Relation out{Schema(out_attrs)};
+  Relation out{spec.out_schema};
   if (left.empty() || right.empty()) {
     ctx.stats().NoteIntermediate(out.arity(), 0);
     return out;
   }
 
-  const std::vector<int64_t> lorder = SortedRowOrder(left, left_cols);
-  const std::vector<int64_t> rorder = SortedRowOrder(right, right_cols);
+  ArenaScope scope(ctx.arena());
+  std::span<int64_t> lorder = ctx.arena().AllocSpan<int64_t>(left.size());
+  std::span<int64_t> rorder = ctx.arena().AllocSpan<int64_t>(right.size());
+  SortRowOrder(left, left_cols, lorder);
+  SortRowOrder(right, right_cols, rorder);
 
-  std::vector<Value> tuple(static_cast<size_t>(out.arity()));
+  const int out_arity = out.arity();
+  std::span<Value> tuple = ctx.arena().AllocSpan<Value>(std::max(out_arity, 1));
   auto emit = [&](int64_t li, int64_t ri) {
     for (int c = 0; c < left.arity(); ++c) {
       tuple[static_cast<size_t>(c)] = left.at(li, c);
@@ -84,7 +73,11 @@ Relation SortMergeJoin(const Relation& left, const Relation& right,
       tuple[static_cast<size_t>(left.arity()) + c] =
           right.at(ri, right_carry[c]);
     }
-    out.AddTuple(tuple);
+    if (out_arity > 0) {
+      out.AppendRaw(tuple.data());
+    } else {
+      out.AddTuple(std::span<const Value>{});
+    }
     return ctx.ChargeTuples(1);
   };
 
@@ -122,6 +115,8 @@ Relation SortMergeJoin(const Relation& left, const Relation& right,
     }
   }
 
+  ctx.stats().NotePeakBytes(
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }

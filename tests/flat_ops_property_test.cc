@@ -1,0 +1,233 @@
+// Property tests for the flat-hash operator kernels: on randomized
+// relations (including empty, nullary, and repeated-attribute inputs) the
+// hash-based operators, naive row-at-a-time references, and the
+// sort-merge join must all agree up to set equality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/exec_context.h"
+#include "relational/ops.h"
+#include "relational/sort_merge.h"
+
+namespace ppr {
+namespace {
+
+// Random schema over a small attribute pool; arity 0 (nullary) included.
+Schema RandomSchema(Rng& rng, int max_arity) {
+  std::vector<AttrId> pool = {0, 1, 2, 3, 4, 5};
+  const int arity = static_cast<int>(rng.NextBounded(
+      static_cast<uint64_t>(max_arity + 1)));
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < arity; ++i) {
+    const size_t pick = static_cast<size_t>(rng.NextBounded(pool.size()));
+    attrs.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return Schema(std::move(attrs));
+}
+
+// Random relation; empty and single-row cases are common by construction.
+// Nullary relations are nonempty with probability 1/2.
+Relation RandomRelation(const Schema& schema, Rng& rng) {
+  Relation rel{schema};
+  if (schema.arity() == 0) {
+    if (rng.NextBounded(2) == 0) rel.AddTuple(std::span<const Value>{});
+    return rel;
+  }
+  const int64_t rows = static_cast<int64_t>(rng.NextBounded(26));
+  std::vector<Value> tuple(static_cast<size_t>(schema.arity()));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (auto& v : tuple) v = static_cast<Value>(1 + rng.NextBounded(4));
+    rel.AddTuple(tuple);
+  }
+  return rel;
+}
+
+// Naive nested-loop natural join, mirroring the documented contract:
+// left's attributes then right-only attributes.
+Relation RefJoin(const Relation& left, const Relation& right) {
+  const JoinSpec spec = PlanJoin(left.schema(), right.schema());
+  Relation out{spec.out_schema};
+  for (int64_t i = 0; i < left.size(); ++i) {
+    for (int64_t j = 0; j < right.size(); ++j) {
+      bool match = true;
+      for (size_t k = 0; k < spec.left_key_cols.size(); ++k) {
+        if (left.at(i, spec.left_key_cols[k]) !=
+            right.at(j, spec.right_key_cols[k])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> tuple;
+      for (int c = 0; c < left.arity(); ++c) tuple.push_back(left.at(i, c));
+      for (int c : spec.right_carry_cols) tuple.push_back(right.at(j, c));
+      out.AddTuple(tuple);
+    }
+  }
+  return out;
+}
+
+// Naive distinct projection via an ordered set.
+Relation RefProject(const Relation& input, const std::vector<AttrId>& attrs) {
+  const ProjectSpec spec = PlanProject(input.schema(), attrs);
+  std::set<std::vector<Value>> rows;
+  for (int64_t i = 0; i < input.size(); ++i) {
+    std::vector<Value> tuple;
+    for (int c : spec.cols) tuple.push_back(input.at(i, c));
+    rows.insert(std::move(tuple));
+  }
+  Relation out{spec.out_schema};
+  for (const auto& row : rows) out.AddTuple(row);
+  return out;
+}
+
+// Naive semijoin: keep left rows with at least one matching right row on
+// the shared attributes (all right rows match when nothing is shared).
+Relation RefSemiJoin(const Relation& left, const Relation& right) {
+  const SemiJoinSpec spec = PlanSemiJoin(left.schema(), right.schema());
+  Relation out{left.schema()};
+  for (int64_t i = 0; i < left.size(); ++i) {
+    bool any = false;
+    for (int64_t j = 0; j < right.size() && !any; ++j) {
+      bool match = true;
+      for (size_t k = 0; k < spec.left_key_cols.size(); ++k) {
+        if (left.at(i, spec.left_key_cols[k]) !=
+            right.at(j, spec.right_key_cols[k])) {
+          match = false;
+          break;
+        }
+      }
+      any = match;
+    }
+    if (any) out.AddTuple(left.row(i));
+  }
+  return out;
+}
+
+// Naive atom binding: positional attributes with repeated-attribute
+// equality, projecting to first-occurrence order.
+Relation RefBindAtom(const Relation& stored, const std::vector<AttrId>& args) {
+  std::vector<AttrId> distinct;
+  std::vector<int> first_col;
+  for (size_t c = 0; c < args.size(); ++c) {
+    if (std::find(distinct.begin(), distinct.end(), args[c]) ==
+        distinct.end()) {
+      distinct.push_back(args[c]);
+      first_col.push_back(static_cast<int>(c));
+    }
+  }
+  Relation out{Schema(distinct)};
+  for (int64_t i = 0; i < stored.size(); ++i) {
+    std::map<AttrId, Value> binding;
+    bool consistent = true;
+    for (size_t c = 0; c < args.size(); ++c) {
+      const Value v = stored.at(i, static_cast<int>(c));
+      auto [it, inserted] = binding.emplace(args[c], v);
+      if (!inserted && it->second != v) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    std::vector<Value> tuple;
+    for (int c : first_col) tuple.push_back(stored.at(i, c));
+    out.AddTuple(tuple);
+  }
+  return out;
+}
+
+TEST(FlatOpsPropertyTest, JoinAgreesWithReferenceAndSortMerge) {
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Relation left = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation right = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation expected = RefJoin(left, right);
+    ExecContext hash_ctx;
+    const Relation hash_out = NaturalJoin(left, right, hash_ctx);
+    ExecContext sm_ctx;
+    const Relation sm_out = SortMergeJoin(left, right, sm_ctx);
+    ASSERT_TRUE(hash_out.SetEquals(expected))
+        << "trial " << trial << "\nleft: " << left.ToString()
+        << "right: " << right.ToString();
+    ASSERT_TRUE(sm_out.SetEquals(expected)) << "trial " << trial;
+    ASSERT_EQ(hash_out.size(), sm_out.size()) << "trial " << trial;
+  }
+}
+
+TEST(FlatOpsPropertyTest, ProjectAgreesWithReference) {
+  Rng rng(202);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Relation input = RandomRelation(RandomSchema(rng, 4), rng);
+    // Random subset of the schema, possibly empty (Boolean projection).
+    std::vector<AttrId> keep;
+    for (AttrId a : input.schema().attrs()) {
+      if (rng.NextBounded(2) == 0) keep.push_back(a);
+    }
+    const Relation expected = RefProject(input, keep);
+    ExecContext ctx;
+    const Relation out = Project(input, keep, ctx);
+    ASSERT_TRUE(out.SetEquals(expected))
+        << "trial " << trial << "\ninput: " << input.ToString();
+  }
+}
+
+TEST(FlatOpsPropertyTest, SemiJoinAgreesWithReference) {
+  Rng rng(303);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Relation left = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation right = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation expected = RefSemiJoin(left, right);
+    ExecContext ctx;
+    const Relation out = SemiJoin(left, right, ctx);
+    ASSERT_TRUE(out.SetEquals(expected))
+        << "trial " << trial << "\nleft: " << left.ToString()
+        << "right: " << right.ToString();
+  }
+}
+
+TEST(FlatOpsPropertyTest, BindAtomAgreesWithReference) {
+  Rng rng(404);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Schema stored_schema = RandomSchema(rng, 3);
+    const Relation stored = RandomRelation(stored_schema, rng);
+    // Random args with repeats (attribute ids disjoint from the pool so
+    // renames are exercised too).
+    std::vector<AttrId> args;
+    for (int c = 0; c < stored.arity(); ++c) {
+      args.push_back(static_cast<AttrId>(20 + rng.NextBounded(3)));
+    }
+    const Relation expected = RefBindAtom(stored, args);
+    ExecContext ctx;
+    const Relation out = BindAtom(stored, args, ctx);
+    ASSERT_TRUE(out.SetEquals(expected))
+        << "trial " << trial << "\nstored: " << stored.ToString();
+  }
+}
+
+TEST(FlatOpsPropertyTest, NullaryJoinCombinations) {
+  const Schema nullary{std::vector<AttrId>{}};
+  Relation empty_n{nullary};
+  Relation full_n{nullary};
+  full_n.AddTuple(std::span<const Value>{});
+  Relation unary{Schema({3})};
+  unary.AddTuple({7});
+  unary.AddTuple({9});
+
+  ExecContext ctx;
+  EXPECT_TRUE(NaturalJoin(full_n, full_n, ctx).SetEquals(full_n));
+  EXPECT_TRUE(NaturalJoin(full_n, empty_n, ctx).SetEquals(empty_n));
+  EXPECT_TRUE(NaturalJoin(empty_n, empty_n, ctx).SetEquals(empty_n));
+  EXPECT_TRUE(NaturalJoin(unary, full_n, ctx).SetEquals(unary));
+  EXPECT_TRUE(NaturalJoin(full_n, unary, ctx).SetEquals(unary));
+  EXPECT_TRUE(NaturalJoin(unary, empty_n, ctx).empty());
+}
+
+}  // namespace
+}  // namespace ppr
