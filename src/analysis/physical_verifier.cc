@@ -1,0 +1,250 @@
+#include "analysis/physical_verifier.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ppr {
+namespace {
+
+bool SameAttrSet(std::vector<AttrId> a, std::vector<AttrId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+Status VerifyScan(const Atom& atom, const Relation& stored,
+                  const ScanSpec& spec) {
+  const std::string where = "scan of " + atom.ToString() + ": ";
+  const int stored_arity = stored.arity();
+  if (static_cast<int>(atom.args.size()) != stored_arity) {
+    return Status::InvalidArgument(where + "atom arity != stored arity");
+  }
+  if (spec.out_schema.attrs() != atom.DistinctAttrs()) {
+    return Status::InvalidArgument(
+        where + "output schema is not the atom's distinct attributes");
+  }
+  if (static_cast<int>(spec.source_cols.size()) != spec.out_schema.arity()) {
+    return Status::InvalidArgument(where +
+                                   "source-column map length != out arity");
+  }
+  for (int d = 0; d < spec.out_schema.arity(); ++d) {
+    const int c = spec.source_cols[static_cast<size_t>(d)];
+    if (c < 0 || c >= stored_arity) {
+      return Status::InvalidArgument(where + "source column " +
+                                     std::to_string(c) + " out of bounds");
+    }
+    const AttrId attr = spec.out_schema.attr(d);
+    if (atom.args[static_cast<size_t>(c)] != attr) {
+      return Status::InvalidArgument(
+          where + "source column does not bind its output attribute");
+    }
+    // Must be the first occurrence, so repeated attributes collapse to it.
+    for (int e = 0; e < c; ++e) {
+      if (atom.args[static_cast<size_t>(e)] == attr) {
+        return Status::InvalidArgument(
+            where + "source column is not the attribute's first occurrence");
+      }
+    }
+  }
+  if (spec.source_cols.size() + spec.equal_checks.size() !=
+      static_cast<size_t>(stored_arity)) {
+    return Status::InvalidArgument(
+        where + "source columns + equality checks != stored arity");
+  }
+  for (const auto& [col, first] : spec.equal_checks) {
+    if (col < 0 || col >= stored_arity || first < 0 || first >= stored_arity) {
+      return Status::InvalidArgument(where +
+                                     "equality-check column out of bounds");
+    }
+    if (col == first ||
+        atom.args[static_cast<size_t>(col)] !=
+            atom.args[static_cast<size_t>(first)]) {
+      return Status::InvalidArgument(
+          where + "equality check does not compare a repeated attribute "
+                  "against its first occurrence");
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyJoin(const Schema& left, const Schema& right,
+                  const JoinSpec& spec, int step) {
+  const std::string where = "join step " + std::to_string(step) + ": ";
+  if (spec.left_key_cols.size() != spec.right_key_cols.size()) {
+    return Status::InvalidArgument(where +
+                                   "build/probe key maps differ in length");
+  }
+  std::vector<AttrId> key_attrs;
+  for (size_t j = 0; j < spec.left_key_cols.size(); ++j) {
+    const int lk = spec.left_key_cols[j];
+    const int rk = spec.right_key_cols[j];
+    if (lk < 0 || lk >= left.arity() || rk < 0 || rk >= right.arity()) {
+      return Status::InvalidArgument(where + "key column out of bounds");
+    }
+    if (left.attr(lk) != right.attr(rk)) {
+      return Status::InvalidArgument(
+          where + "key columns misaligned: position " + std::to_string(j) +
+          " compares different attributes");
+    }
+    key_attrs.push_back(left.attr(lk));
+  }
+  std::sort(key_attrs.begin(), key_attrs.end());
+  if (std::adjacent_find(key_attrs.begin(), key_attrs.end()) !=
+      key_attrs.end()) {
+    return Status::InvalidArgument(where + "duplicate join key attribute");
+  }
+  std::vector<AttrId> common = left.CommonAttrs(right);
+  std::sort(common.begin(), common.end());
+  if (key_attrs != common) {
+    return Status::InvalidArgument(
+        where + "join keys are not exactly the common attributes");
+  }
+
+  if (spec.out_schema.arity() !=
+      left.arity() + static_cast<int>(spec.right_carry_cols.size())) {
+    return Status::InvalidArgument(
+        where + "output arity != left arity + carried columns");
+  }
+  for (int c = 0; c < left.arity(); ++c) {
+    if (spec.out_schema.attr(c) != left.attr(c)) {
+      return Status::InvalidArgument(
+          where + "output schema does not start with the left schema");
+    }
+  }
+  for (size_t j = 0; j < spec.right_carry_cols.size(); ++j) {
+    const int rc = spec.right_carry_cols[j];
+    if (rc < 0 || rc >= right.arity()) {
+      return Status::InvalidArgument(where + "carry column out of bounds");
+    }
+    const AttrId attr = right.attr(rc);
+    if (left.Contains(attr)) {
+      return Status::InvalidArgument(
+          where + "carried column duplicates a left attribute");
+    }
+    if (spec.out_schema.attr(left.arity() + static_cast<int>(j)) != attr) {
+      return Status::InvalidArgument(
+          where + "copy map inconsistent with the output schema");
+    }
+  }
+  std::vector<AttrId> expected = left.attrs();
+  for (AttrId a : right.attrs()) {
+    if (!left.Contains(a)) expected.push_back(a);
+  }
+  if (!SameAttrSet(spec.out_schema.attrs(), expected)) {
+    return Status::InvalidArgument(where +
+                                   "output schema drops or invents an "
+                                   "attribute of the joined inputs");
+  }
+  return Status::Ok();
+}
+
+Status VerifyProject(const Schema& input, const ProjectSpec& spec,
+                     const std::vector<AttrId>& projected_label) {
+  const std::string where = "projection: ";
+  if (static_cast<int>(spec.cols.size()) != spec.out_schema.arity()) {
+    return Status::InvalidArgument(where + "mask length != output arity");
+  }
+  for (int j = 0; j < spec.out_schema.arity(); ++j) {
+    const int c = spec.cols[static_cast<size_t>(j)];
+    if (c < 0 || c >= input.arity()) {
+      return Status::InvalidArgument(where + "mask column " +
+                                     std::to_string(c) + " out of bounds");
+    }
+    if (input.attr(c) != spec.out_schema.attr(j)) {
+      return Status::InvalidArgument(
+          where + "mask inconsistent with the output schema");
+    }
+  }
+  if (!SameAttrSet(spec.out_schema.attrs(), projected_label)) {
+    return Status::InvalidArgument(
+        where + "output schema != the node's projected label");
+  }
+  return Status::Ok();
+}
+
+Status VerifyNode(const ConjunctiveQuery& query, const PlanNode* logical,
+                  const PhysicalNode& phys, const Database& db) {
+  Schema working;
+  if (logical->IsLeaf()) {
+    if (!phys.IsLeaf() || phys.stored == nullptr) {
+      return Status::InvalidArgument(
+          "physical leaf shape differs from the logical plan");
+    }
+    if (logical->atom_index < 0 || logical->atom_index >= query.num_atoms()) {
+      return Status::InvalidArgument("leaf atom index out of range");
+    }
+    const Atom& atom =
+        query.atoms()[static_cast<size_t>(logical->atom_index)];
+    Result<const Relation*> stored = db.Get(atom.relation);
+    if (!stored.ok()) return stored.status();
+    if (*stored != phys.stored) {
+      return Status::InvalidArgument(
+          "leaf bound to a relation other than catalog entry '" +
+          atom.relation + "'");
+    }
+    Status scan = VerifyScan(atom, *phys.stored, phys.scan);
+    if (!scan.ok()) return scan;
+    working = phys.scan.out_schema;
+  } else {
+    if (phys.IsLeaf() ||
+        phys.children.size() != logical->children.size()) {
+      return Status::InvalidArgument(
+          "physical tree shape differs from the logical plan");
+    }
+    if (phys.joins.size() != phys.children.size() - 1) {
+      return Status::InvalidArgument(
+          "internal node needs children - 1 join specs, has " +
+          std::to_string(phys.joins.size()));
+    }
+    for (size_t i = 0; i < phys.children.size(); ++i) {
+      Status child = VerifyNode(query, logical->children[i].get(),
+                                *phys.children[i], db);
+      if (!child.ok()) return child;
+    }
+    working = phys.children.front()->output_schema;
+    for (size_t i = 1; i < phys.children.size(); ++i) {
+      const JoinSpec& spec = phys.joins[i - 1];
+      Status join = VerifyJoin(working, phys.children[i]->output_schema,
+                               spec, static_cast<int>(i));
+      if (!join.ok()) return join;
+      working = spec.out_schema;
+    }
+  }
+
+  // The fold result must realize the node's working label.
+  if (!SameAttrSet(working.attrs(), logical->working)) {
+    return Status::InvalidArgument(
+        "compiled working schema != the node's working label");
+  }
+
+  if (phys.has_project != logical->Projects()) {
+    return Status::InvalidArgument(
+        phys.has_project ? "projection present on a non-projecting node"
+                         : "node's projection was dropped by compilation");
+  }
+  if (phys.has_project) {
+    Status project = VerifyProject(working, phys.project, logical->projected);
+    if (!project.ok()) return project;
+    if (!(phys.output_schema == phys.project.out_schema)) {
+      return Status::InvalidArgument(
+          "node output schema != projection output schema");
+    }
+  } else if (!(phys.output_schema == working)) {
+    return Status::InvalidArgument(
+        "node output schema != compiled working schema");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyPhysicalPlan(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db, const PhysicalPlan& physical) {
+  if (plan.empty()) {
+    return Status::InvalidArgument("empty logical plan");
+  }
+  return VerifyNode(query, plan.root(), physical.root(), db);
+}
+
+}  // namespace ppr

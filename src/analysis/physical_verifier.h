@@ -1,0 +1,40 @@
+#ifndef PPR_ANALYSIS_PHYSICAL_VERIFIER_H_
+#define PPR_ANALYSIS_PHYSICAL_VERIFIER_H_
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "exec/physical_plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Static verifier for compiled plans: checks every PhysicalNode against
+/// its logical source node and the database, from first principles (it
+/// re-derives nothing through the compiler's own spec builders, so a bug
+/// in PlanScan/PlanJoin/PlanProject is caught rather than mirrored).
+/// Rejects:
+///  - shape drift: physical tree shape differing from the logical plan,
+///    or joins.size() != children.size() - 1;
+///  - scan damage: a stored pointer that is not the catalog relation the
+///    atom names, source/equal-check column indices out of the stored
+///    arity, an output schema that is not the atom's distinct attributes,
+///    or equality checks inconsistent with the atom's repeated attributes;
+///  - join damage: build/probe key maps of different lengths, key or
+///    carry indices out of bounds, keys misaligned (left and right key
+///    columns naming different attributes), a missed or invented join
+///    key, or an output schema that is not left ++ right-only;
+///  - projection damage: a mask column out of bounds, a mask inconsistent
+///    with the output schema, a projection present where the logical node
+///    has none (or vice versa), or an output schema differing from the
+///    node's projected label.
+///
+/// OK means Execute() performs exactly the logical plan's operators: all
+/// raw column accesses are in bounds and every operator's output schema
+/// matches the logical label it implements.
+Status VerifyPhysicalPlan(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db, const PhysicalPlan& physical);
+
+}  // namespace ppr
+
+#endif  // PPR_ANALYSIS_PHYSICAL_VERIFIER_H_

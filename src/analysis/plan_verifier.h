@@ -1,0 +1,34 @@
+#ifndef PPR_ANALYSIS_PLAN_VERIFIER_H_
+#define PPR_ANALYSIS_PLAN_VERIFIER_H_
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Static verifier for logical plans: proves, without executing anything,
+/// that `plan` is a well-formed, semantics-preserving join-expression tree
+/// for `query` that the physical layer can lower and run. Rejects:
+///  - structural damage: atoms missing from or duplicated across leaves,
+///    internal nodes carrying atom indices, unsorted or duplicated labels,
+///    a working label that is not the union of the children's projected
+///    labels, a root that does not produce the target schema;
+///  - unbound variables: a label attribute no atom below the node binds;
+///  - premature projection: dropping an attribute that a later join (an
+///    atom outside the subtree) or the target schema still needs;
+///  - schedule damage: budget-charge points out of order or an
+///    intermediate consumed more than once (via ValidateSchedule);
+///  - catalog mismatches (when `db` is non-null): an atom referencing a
+///    relation absent from the database, or present with a different
+///    arity.
+///
+/// OK means every operator the executor will run is type-correct and the
+/// answer equals the query's answer on any database instance.
+Status VerifyLogicalPlan(const ConjunctiveQuery& query, const Plan& plan,
+                         const Database* db = nullptr);
+
+}  // namespace ppr
+
+#endif  // PPR_ANALYSIS_PLAN_VERIFIER_H_

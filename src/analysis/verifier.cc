@@ -1,0 +1,81 @@
+#include "analysis/verifier.h"
+
+#include <sstream>
+
+#include "analysis/physical_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "exec/verify_hook.h"
+
+namespace ppr {
+namespace {
+
+constexpr char kSkipped[] = "skipped: logical verification failed";
+
+}  // namespace
+
+Status PlanVerdict::FirstError() const {
+  if (!logical.ok()) return logical;
+  if (!width.ok()) return width;
+  if (!physical.ok()) return physical;
+  if (!analysis.status.ok()) return analysis.status;
+  return Status::Ok();
+}
+
+std::string PlanVerdict::ToString() const {
+  std::ostringstream out;
+  out << "logical:  " << logical.ToString() << "\n"
+      << "width:    " << width.ToString() << "\n"
+      << "physical: " << physical.ToString() << "\n";
+  if (analysis.status.ok()) out << analysis.ToString();
+  return out.str();
+}
+
+PlanVerdict VerifyPlan(const ConjunctiveQuery& query, const Plan& plan,
+                       const Database& db) {
+  PlanVerdict verdict;
+  verdict.logical = VerifyLogicalPlan(query, plan, &db);
+  if (!verdict.logical.ok()) {
+    // The deeper passes assume a well-formed tree (theory conversions
+    // PPR_CHECK on malformed labels), so they do not run.
+    verdict.width = Status::InvalidArgument(kSkipped);
+    verdict.analysis.status = Status::InvalidArgument(kSkipped);
+    return verdict;
+  }
+  verdict.width = CrossCheckWidth(query, plan);
+  verdict.analysis = AnalyzePlan(query, plan, db);
+  return verdict;
+}
+
+PlanVerdict VerifyCompiledPlan(const ConjunctiveQuery& query,
+                               const Plan& plan, const Database& db,
+                               const PhysicalPlan& physical) {
+  PlanVerdict verdict = VerifyPlan(query, plan, db);
+  if (verdict.logical.ok()) {
+    verdict.physical = VerifyPhysicalPlan(query, plan, db, physical);
+  }
+  return verdict;
+}
+
+void InstallPlanVerifier(bool enable) {
+  PlanVerifierHooks hooks;
+  hooks.logical = [](const ConjunctiveQuery& query, const Plan& plan,
+                     const Database& db) {
+    return VerifyPlan(query, plan, db).FirstError();
+  };
+  hooks.compiled = [](const ConjunctiveQuery& query, const Plan& plan,
+                      const Database& db, const PhysicalPlan& physical) {
+    // The logical passes already ran via the `logical` hook before
+    // lowering; re-checking only the compiled tree keeps compile-time
+    // verification linear in plan size.
+    return VerifyPhysicalPlan(query, plan, db, physical);
+  };
+  SetPlanVerifierHooks(std::move(hooks));
+  if (enable) EnablePlanVerification(true);
+}
+
+void UninstallPlanVerifier() {
+  ClearPlanVerifierHooks();
+  EnablePlanVerification(false);
+}
+
+}  // namespace ppr

@@ -1,0 +1,61 @@
+#ifndef PPR_ANALYSIS_VERIFIER_H_
+#define PPR_ANALYSIS_VERIFIER_H_
+
+#include <string>
+
+#include "analysis/width_analyzer.h"
+#include "common/status.h"
+#include "core/plan.h"
+#include "exec/physical_plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// Combined verdict of the static-analysis passes over one plan.
+struct PlanVerdict {
+  /// Logical well-formedness (analysis/plan_verifier.h).
+  Status logical;
+  /// Width cross-check against the theory module (Theorems 1-2); only
+  /// run when `logical` passed.
+  Status width;
+  /// Compiled-plan faithfulness (analysis/physical_verifier.h); OK when
+  /// no physical plan was checked.
+  Status physical;
+  /// Static width and size bounds; only populated when `logical` passed.
+  StaticAnalysis analysis;
+
+  bool ok() const {
+    return logical.ok() && width.ok() && physical.ok() &&
+           analysis.status.ok();
+  }
+
+  /// The first failing status, or OK.
+  Status FirstError() const;
+
+  /// Multi-line report: one line per pass plus the analysis summary.
+  std::string ToString() const;
+};
+
+/// Runs the logical verifier, the width cross-check, and the static
+/// width/size analyzer over `plan`.
+PlanVerdict VerifyPlan(const ConjunctiveQuery& query, const Plan& plan,
+                       const Database& db);
+
+/// VerifyPlan plus the physical verifier over an already-compiled plan.
+PlanVerdict VerifyCompiledPlan(const ConjunctiveQuery& query,
+                               const Plan& plan, const Database& db,
+                               const PhysicalPlan& physical);
+
+/// Registers the analysis passes as exec's verification hooks
+/// (exec/verify_hook.h): every PhysicalPlan::Compile and ExplainPlan run
+/// while verification is enabled then proves the plan before touching
+/// data. `enable` additionally turns the verification flag on.
+void InstallPlanVerifier(bool enable = true);
+
+/// Unregisters the hooks and disables verification.
+void UninstallPlanVerifier();
+
+}  // namespace ppr
+
+#endif  // PPR_ANALYSIS_VERIFIER_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "exec/verify_hook.h"
 #include "relational/exec_context.h"
 #include "relational/ops.h"
 
@@ -107,6 +108,9 @@ std::string ExplainResult::ToString() const {
   out << "-- tuples_produced=" << stats.tuples_produced
       << " max_intermediate_rows=" << stats.max_intermediate_rows
       << " peak_bytes=" << stats.peak_bytes << "\n";
+  if (!verifier_verdict.empty()) {
+    out << "-- verifier: " << verifier_verdict << "\n";
+  }
   return out.str();
 }
 
@@ -135,6 +139,18 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   }
   result.status = query.Validate(db);
   if (!result.status.ok()) return result;
+
+  // Surface the static-analysis verdict when verification is enabled; a
+  // rejected plan is reported, not executed.
+  const PlanVerifierHooks& hooks = GetPlanVerifierHooks();
+  if (PlanVerificationEnabled() && hooks.logical) {
+    Status verdict = hooks.logical(query, plan, db);
+    result.verifier_verdict = verdict.ok() ? "OK" : verdict.ToString();
+    if (!verdict.ok()) {
+      result.status = verdict;
+      return result;
+    }
+  }
 
   ExecContext ctx(tuple_budget);
   Estimate est;

@@ -36,9 +36,15 @@ struct ExplainResult {
   /// Aggregate work counters of the profiled run (tuples produced,
   /// largest intermediate, peak operator scratch+output bytes).
   ExecStats stats;
+  /// Static-analysis verdict ("OK" or the first violation) when plan
+  /// verification is enabled and a verifier is installed
+  /// (exec/verify_hook.h); empty when verification did not run. A
+  /// failing verdict also fails `status` — the plan is never executed.
+  std::string verifier_verdict;
 
   /// Indented EXPLAIN ANALYZE-style rendering, followed by a summary
-  /// line with the aggregate counters.
+  /// line with the aggregate counters and, when verification ran, a
+  /// verifier verdict line.
   std::string ToString() const;
 
   /// max(actual/estimate, estimate/actual) over profiled nodes (empty

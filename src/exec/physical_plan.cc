@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "exec/verify_hook.h"
 #include "relational/sort_merge.h"
 
 namespace ppr {
@@ -90,7 +91,22 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
   if (plan.empty()) return Status::InvalidArgument("empty plan");
   Status valid = query.Validate(db);
   if (!valid.ok()) return valid;
-  return PhysicalPlan(CompileNode(query, plan.root(), db), join_algorithm);
+
+  // Debug-mode static analysis (exec/verify_hook.h): prove the logical
+  // plan well-formed before lowering and the compiled plan faithful to it
+  // after, failing compilation instead of executing a corrupt plan.
+  const PlanVerifierHooks& hooks = GetPlanVerifierHooks();
+  const bool verify = PlanVerificationEnabled();
+  if (verify && hooks.logical) {
+    Status verdict = hooks.logical(query, plan, db);
+    if (!verdict.ok()) return verdict;
+  }
+  PhysicalPlan compiled(CompileNode(query, plan.root(), db), join_algorithm);
+  if (verify && hooks.compiled) {
+    Status verdict = hooks.compiled(query, plan, db, compiled);
+    if (!verdict.ok()) return verdict;
+  }
+  return compiled;
 }
 
 ExecutionResult PhysicalPlan::Execute(Counter tuple_budget) {

@@ -84,6 +84,12 @@ class PhysicalPlan {
   /// Number of physical nodes (same shape as the logical plan).
   int NumNodes() const;
 
+  /// Root of the compiled node tree, for static analysis and explain
+  /// tooling. The mutable accessor exists for plan-mutation tests that
+  /// corrupt compiled plans to exercise the verifier.
+  const PhysicalNode& root() const { return *root_; }
+  PhysicalNode& mutable_root() { return *root_; }
+
  private:
   PhysicalPlan(std::unique_ptr<PhysicalNode> root,
                JoinAlgorithm join_algorithm)

@@ -1,0 +1,37 @@
+#include "exec/verify_hook.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace ppr {
+namespace {
+
+PlanVerifierHooks& Hooks() {
+  static PlanVerifierHooks hooks;
+  return hooks;
+}
+
+bool& Enabled() {
+  static bool enabled = [] {
+    const char* env = std::getenv("PPR_VERIFY_PLANS");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+void SetPlanVerifierHooks(PlanVerifierHooks hooks) {
+  Hooks() = std::move(hooks);
+}
+
+void ClearPlanVerifierHooks() { Hooks() = PlanVerifierHooks{}; }
+
+const PlanVerifierHooks& GetPlanVerifierHooks() { return Hooks(); }
+
+void EnablePlanVerification(bool on) { Enabled() = on; }
+
+bool PlanVerificationEnabled() { return Enabled(); }
+
+}  // namespace ppr

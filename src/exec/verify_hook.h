@@ -1,0 +1,49 @@
+#ifndef PPR_EXEC_VERIFY_HOOK_H_
+#define PPR_EXEC_VERIFY_HOOK_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+class PhysicalPlan;
+
+/// Verification callbacks the static-analysis layer installs into the
+/// execution layer (exec cannot depend on analysis — analysis depends on
+/// exec for the physical plan types — so the wiring is a registration).
+/// When verification is enabled, PhysicalPlan::Compile runs `logical`
+/// before and `compiled` after lowering and fails compilation on a
+/// non-OK verdict; ExplainPlan runs `logical` and surfaces the verdict
+/// in its rendering.
+struct PlanVerifierHooks {
+  std::function<Status(const ConjunctiveQuery&, const Plan&,
+                       const Database&)>
+      logical;
+  std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
+                       const PhysicalPlan&)>
+      compiled;
+};
+
+/// Installs the hooks (replacing any previous ones).
+void SetPlanVerifierHooks(PlanVerifierHooks hooks);
+
+/// Removes the hooks.
+void ClearPlanVerifierHooks();
+
+/// Currently installed hooks (members are null when none installed).
+const PlanVerifierHooks& GetPlanVerifierHooks();
+
+/// Debug flag gating verification at compile/explain time. Starts ON
+/// when the environment sets PPR_VERIFY_PLANS to anything but "0",
+/// OFF otherwise; toggled programmatically by tests and tools. Hooks
+/// only fire when both installed and enabled.
+void EnablePlanVerification(bool on);
+bool PlanVerificationEnabled();
+
+}  // namespace ppr
+
+#endif  // PPR_EXEC_VERIFY_HOOK_H_

@@ -226,6 +226,13 @@ Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
     return out;
   }
 
+  if (input.empty()) {
+    // No scratch is allocated for an empty input, so peak_bytes stays an
+    // honest 0 on runs against empty databases.
+    ctx.stats().NoteIntermediate(out.arity(), 0);
+    return out;
+  }
+
   ArenaScope scope(ctx.arena());
   const int key_width = static_cast<int>(spec.cols.size());
   FlatKeyIndex seen(input.size(), key_width, ctx.arena());
@@ -307,6 +314,12 @@ Relation SemiJoinFiltered(const Relation& left, const Relation& right,
 Relation ScanAtom(const Relation& stored, const ScanSpec& spec,
                   ExecContext& ctx) {
   Relation out{spec.out_schema};
+  if (stored.empty()) {
+    // Skip the tuple-assembly scratch: peak_bytes must report 0 when a
+    // plan runs against an empty database.
+    ctx.stats().NoteIntermediate(out.arity(), 0);
+    return out;
+  }
   out.Reserve(CappedReserveRows(static_cast<double>(stored.size()), ctx));
 
   ArenaScope scope(ctx.arena());

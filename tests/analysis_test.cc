@@ -1,0 +1,465 @@
+// Tests for the static-analysis layer: logical/physical verifiers accept
+// every strategy plan and reject each corruption class; the width
+// analyzer's static max-arity prediction matches executed statistics and
+// its size bounds are sound; verification hooks gate compilation and
+// surface verdicts in explain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/physical_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/schedule.h"
+#include "analysis/verifier.h"
+#include "analysis/width_analyzer.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "core/theory.h"
+#include "encode/kcolor.h"
+#include "encode/sat.h"
+#include "exec/executor.h"
+#include "exec/explain.h"
+#include "exec/physical_plan.h"
+#include "exec/verify_hook.h"
+#include "graph/elimination.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+Database ThreeColorDb() {
+  Database db;
+  AddColoringRelations(3, &db);
+  return db;
+}
+
+// Two-atom path query pi_{x0,x2} edge(x0,x1) |><| edge(x1,x2) with a
+// hand-built plan, the fixture for targeted corruption tests.
+ConjunctiveQuery PathQuery() {
+  return ConjunctiveQuery({Atom{"edge", {0, 1}}, Atom{"edge", {1, 2}}},
+                          {0, 2});
+}
+
+Plan PathPlan() {
+  ConjunctiveQuery q = PathQuery();
+  std::vector<std::unique_ptr<PlanNode>> children;
+  children.push_back(MakeLeaf(q, 0));
+  children.push_back(MakeLeaf(q, 1));
+  return Plan(MakeJoin(std::move(children), {0, 2}));
+}
+
+TEST(LogicalVerifierTest, AcceptsAllStrategyPlans) {
+  Database db = ThreeColorDb();
+  Rng rng(7);
+  for (int n : {6, 9, 12}) {
+    ConjunctiveQuery q = KColorQuery(ConnectedRandomGraph(n, n + 4, rng));
+    for (StrategyKind kind : AllStrategies()) {
+      Plan plan = BuildStrategyPlan(kind, q, 3);
+      EXPECT_TRUE(VerifyLogicalPlan(q, plan, &db).ok())
+          << StrategyName(kind) << " on n=" << n;
+    }
+  }
+}
+
+TEST(LogicalVerifierTest, RejectsEmptyPlan) {
+  ConjunctiveQuery q = PathQuery();
+  Plan empty;
+  EXPECT_FALSE(VerifyLogicalPlan(q, empty).ok());
+}
+
+TEST(LogicalVerifierTest, RejectsUnboundVariable) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  // x9 appears in no atom: no scan can ever bind it.
+  plan.mutable_root()->working.push_back(9);
+  Status s = VerifyLogicalPlan(q, plan);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unbound"), std::string::npos) << s.ToString();
+}
+
+TEST(LogicalVerifierTest, RejectsPrematureProjection) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  // Leaf edge(x0,x1) drops x1, but atom edge(x1,x2) outside the leaf's
+  // subtree still needs it. The parent's working label stays consistent
+  // (the other leaf still projects x1), isolating the safety violation.
+  PlanNode* leaf0 = plan.mutable_root()->children[0].get();
+  leaf0->projected = {0};
+  Status s = VerifyLogicalPlan(q, plan);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unsafe projection"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(LogicalVerifierTest, RejectsProjectingOutFreeVariable) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  PlanNode* root = plan.mutable_root();
+  root->projected = {0};  // drops free variable x2
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan).ok());
+}
+
+TEST(LogicalVerifierTest, RejectsDuplicateLabelAttribute) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  PlanNode* leaf0 = plan.mutable_root()->children[0].get();
+  leaf0->working = {0, 1, 1};
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan).ok());
+}
+
+TEST(LogicalVerifierTest, RejectsMissingAndDuplicateAtoms) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  // Both leaves claim atom 0: atom 1 is missing, atom 0 duplicated.
+  plan.mutable_root()->children[1]->atom_index = 0;
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan).ok());
+
+  Plan plan2 = PathPlan();
+  plan2.mutable_root()->children[1]->atom_index = 5;  // out of range
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan2).ok());
+}
+
+TEST(LogicalVerifierTest, RejectsWrongRootSchema) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  plan.mutable_root()->projected = {0, 1};  // target is {0, 2}
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan).ok());
+}
+
+TEST(LogicalVerifierTest, RejectsRelationAbsentFromCatalog) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  Database empty_db;
+  EXPECT_TRUE(VerifyLogicalPlan(q, plan).ok());  // no catalog: structural ok
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan, &empty_db).ok());
+
+  // Relation present but with the wrong arity.
+  Database bad_arity;
+  bad_arity.Put("edge", Relation{Schema({0, 1, 2})});
+  EXPECT_FALSE(VerifyLogicalPlan(q, plan, &bad_arity).ok());
+}
+
+TEST(ScheduleTest, LinearizesInBudgetChargeOrder) {
+  ConjunctiveQuery q = PathQuery();
+  Plan plan = PathPlan();
+  OpSchedule schedule = BuildSchedule(q, plan);
+  // scan, scan, join, project — the exact executor order.
+  ASSERT_EQ(schedule.num_ops(), 4);
+  EXPECT_EQ(schedule.ops[0].kind, OpKind::kScan);
+  EXPECT_EQ(schedule.ops[1].kind, OpKind::kScan);
+  EXPECT_EQ(schedule.ops[2].kind, OpKind::kJoin);
+  EXPECT_EQ(schedule.ops[3].kind, OpKind::kProject);
+  EXPECT_EQ(schedule.root_op, 3);
+  EXPECT_TRUE(ValidateSchedule(q, schedule).ok());
+  // Rendering names every operator.
+  EXPECT_NE(schedule.ToString(q).find("join"), std::string::npos);
+}
+
+TEST(ScheduleTest, RejectsChargePointsOutOfOrder) {
+  ConjunctiveQuery q = PathQuery();
+  OpSchedule schedule = BuildSchedule(q, PathPlan());
+  // Make the join consume an operator that has not charged yet.
+  schedule.ops[2].right_input = 3;
+  Status s = ValidateSchedule(q, schedule);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("budget"), std::string::npos) << s.ToString();
+}
+
+TEST(ScheduleTest, RejectsDoubleConsumption) {
+  ConjunctiveQuery q = PathQuery();
+  OpSchedule schedule = BuildSchedule(q, PathPlan());
+  // The join reads scan #0 twice; scan #1 goes unconsumed.
+  schedule.ops[2].right_input = 0;
+  EXPECT_FALSE(ValidateSchedule(q, schedule).ok());
+}
+
+class PhysicalVerifierTest : public ::testing::Test {
+ protected:
+  PhysicalVerifierTest()
+      : db_(ThreeColorDb()),
+        query_(PentagonQuery()),
+        plan_(BucketEliminationPlanMcs(query_, nullptr)),
+        compiled_(std::move(
+            PhysicalPlan::Compile(query_, plan_, db_).value())) {}
+
+  Database db_;
+  ConjunctiveQuery query_;
+  Plan plan_;
+  PhysicalPlan compiled_;
+
+  // First internal physical node (joins nonempty), paired logical node.
+  static std::pair<PhysicalNode*, const PlanNode*> FirstJoin(
+      PhysicalNode& phys, const PlanNode* logical) {
+    if (!phys.joins.empty()) return {&phys, logical};
+    for (size_t i = 0; i < phys.children.size(); ++i) {
+      auto found =
+          FirstJoin(*phys.children[i], logical->children[i].get());
+      if (found.first != nullptr) return found;
+    }
+    return {nullptr, nullptr};
+  }
+
+  static PhysicalNode* FirstProjection(PhysicalNode& phys) {
+    if (phys.has_project) return &phys;
+    for (auto& child : phys.children) {
+      PhysicalNode* found = FirstProjection(*child);
+      if (found != nullptr) return found;
+    }
+    return nullptr;
+  }
+
+  static PhysicalNode* FirstLeaf(PhysicalNode& phys) {
+    if (phys.IsLeaf()) return &phys;
+    return FirstLeaf(*phys.children.front());
+  }
+};
+
+TEST_F(PhysicalVerifierTest, AcceptsCompiledPlan) {
+  EXPECT_TRUE(VerifyPhysicalPlan(query_, plan_, db_, compiled_).ok());
+}
+
+TEST_F(PhysicalVerifierTest, RejectsKeyMapOutOfBounds) {
+  auto [node, logical] = FirstJoin(compiled_.mutable_root(), plan_.root());
+  ASSERT_NE(node, nullptr);
+  node->joins[0].left_key_cols[0] = 99;
+  Status s = VerifyPhysicalPlan(query_, plan_, db_, compiled_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("key column out of bounds"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, RejectsDroppedJoinKey) {
+  auto [node, logical] = FirstJoin(compiled_.mutable_root(), plan_.root());
+  ASSERT_NE(node, nullptr);
+  ASSERT_FALSE(node->joins[0].left_key_cols.empty());
+  // Forgetting a key turns the join into a partial cross product.
+  node->joins[0].left_key_cols.pop_back();
+  node->joins[0].right_key_cols.pop_back();
+  EXPECT_FALSE(VerifyPhysicalPlan(query_, plan_, db_, compiled_).ok());
+}
+
+TEST_F(PhysicalVerifierTest, RejectsMismatchedKeyMapLengths) {
+  auto [node, logical] = FirstJoin(compiled_.mutable_root(), plan_.root());
+  ASSERT_NE(node, nullptr);
+  node->joins[0].right_key_cols.push_back(0);
+  EXPECT_FALSE(VerifyPhysicalPlan(query_, plan_, db_, compiled_).ok());
+}
+
+TEST_F(PhysicalVerifierTest, RejectsMaskOutOfBounds) {
+  PhysicalNode* node = FirstProjection(compiled_.mutable_root());
+  ASSERT_NE(node, nullptr);
+  node->project.cols[0] = 99;
+  Status s = VerifyPhysicalPlan(query_, plan_, db_, compiled_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of bounds"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, RejectsMaskSchemaMismatch) {
+  PhysicalNode* node = FirstProjection(compiled_.mutable_root());
+  ASSERT_NE(node, nullptr);
+  // Keep the mask in bounds but break its attribute correspondence.
+  node->project.out_schema = Schema({41});
+  EXPECT_FALSE(VerifyPhysicalPlan(query_, plan_, db_, compiled_).ok());
+}
+
+TEST_F(PhysicalVerifierTest, RejectsDroppedProjection) {
+  PhysicalNode* node = FirstProjection(compiled_.mutable_root());
+  ASSERT_NE(node, nullptr);
+  node->has_project = false;
+  node->output_schema = node->project.out_schema;
+  EXPECT_FALSE(VerifyPhysicalPlan(query_, plan_, db_, compiled_).ok());
+}
+
+TEST_F(PhysicalVerifierTest, RejectsForeignStoredRelation) {
+  db_.Put("other", ColoringEdgeRelation(3));
+  PhysicalNode* leaf = FirstLeaf(compiled_.mutable_root());
+  leaf->stored = *db_.Get("other");
+  Status s = VerifyPhysicalPlan(query_, plan_, db_, compiled_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("catalog"), std::string::npos) << s.ToString();
+}
+
+TEST(WidthAnalyzerTest, PredictionMatchesExecutedArity) {
+  Database db = ThreeColorDb();
+  Rng rng(11);
+  for (int n : {6, 8, 10, 12}) {
+    ConjunctiveQuery q = KColorQuery(ConnectedRandomGraph(n, n + 5, rng));
+    for (StrategyKind kind : AllStrategies()) {
+      Plan plan = BuildStrategyPlan(kind, q, 5);
+      StaticAnalysis analysis = AnalyzePlan(q, plan, db);
+      ASSERT_TRUE(analysis.status.ok());
+      ExecutionResult run = ExecutePlan(q, plan, db);
+      ASSERT_TRUE(run.status.ok());
+      EXPECT_EQ(analysis.max_intermediate_arity,
+                run.stats.max_intermediate_arity)
+          << StrategyName(kind) << " on n=" << n;
+      EXPECT_EQ(analysis.max_intermediate_arity, plan.Width());
+      // Size bounds are sound.
+      EXPECT_LE(static_cast<double>(run.stats.max_intermediate_rows),
+                analysis.max_intermediate_rows_bound);
+      EXPECT_LE(static_cast<double>(run.stats.tuples_produced),
+                analysis.tuples_produced_bound);
+    }
+  }
+}
+
+TEST(WidthAnalyzerTest, PredictionMatchesOnSatQueries) {
+  Database db;
+  AddSatRelations(3, &db);
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    Cnf cnf = RandomKSat(8, 12, 3, rng);
+    ConjunctiveQuery q = trial % 2 == 0
+                             ? SatQuery(cnf)
+                             : SatQueryNonBoolean(cnf, 0.2, rng);
+    for (StrategyKind kind : AllStrategies()) {
+      Plan plan = BuildStrategyPlan(kind, q, trial);
+      StaticAnalysis analysis = AnalyzePlan(q, plan, db);
+      ASSERT_TRUE(analysis.status.ok());
+      ExecutionResult run = ExecutePlan(q, plan, db);
+      ASSERT_TRUE(run.status.ok());
+      EXPECT_EQ(analysis.max_intermediate_arity,
+                run.stats.max_intermediate_arity)
+          << StrategyName(kind) << " trial " << trial;
+      EXPECT_LE(static_cast<double>(run.stats.max_intermediate_rows),
+                analysis.max_intermediate_rows_bound);
+      EXPECT_LE(static_cast<double>(run.stats.tuples_produced),
+                analysis.tuples_produced_bound);
+    }
+  }
+}
+
+TEST(WidthAnalyzerTest, SufficientBudgetNeverExhausts) {
+  // tuples_produced_bound is a static sufficient budget: running with a
+  // budget above it must not time out.
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(Ladder(4));
+  Plan plan = StraightforwardPlan(q);
+  StaticAnalysis analysis = AnalyzePlan(q, plan, db);
+  ASSERT_TRUE(analysis.status.ok());
+  ASSERT_LT(analysis.tuples_produced_bound, 1e15);
+  const Counter budget =
+      static_cast<Counter>(analysis.tuples_produced_bound) + 1;
+  EXPECT_TRUE(ExecutePlan(q, plan, db, budget).status.ok());
+}
+
+TEST(WidthAnalyzerTest, CrossCheckAcceptsStrategiesAndTracksTheory) {
+  Database db = ThreeColorDb();
+  Rng rng(3);
+  ConjunctiveQuery q = KColorQuery(ConnectedRandomGraph(9, 14, rng));
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, 1);
+    EXPECT_TRUE(CrossCheckWidth(q, plan).ok()) << StrategyName(kind);
+  }
+}
+
+TEST(WidthAnalyzerTest, WidthGuaranteeFromDecomposition) {
+  // Lemma 3: a plan built from a decomposition of width k has join width
+  // <= k + 1, and the analyzer proves it statically.
+  Rng rng(17);
+  ConjunctiveQuery q = KColorQuery(ConnectedRandomGraph(10, 16, rng));
+  const Graph join_graph = BuildJoinGraph(q);
+  EliminationOrder order = McsEliminationOrder(join_graph, {}, nullptr);
+  Plan plan = TreewidthPlan(q, order);
+  const int k = InducedWidth(join_graph, order);
+  EXPECT_TRUE(CheckWidthGuarantee(q, plan, k + 1).ok());
+  // An impossible claim is refuted.
+  EXPECT_FALSE(CheckWidthGuarantee(q, plan, 1).ok());
+}
+
+TEST(VerifierFacadeTest, VerdictAggregatesAndRenders) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = EarlyProjectionPlan(q);
+  Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db);
+  ASSERT_TRUE(compiled.ok());
+  PlanVerdict verdict = VerifyCompiledPlan(q, plan, db, *compiled);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_TRUE(verdict.FirstError().ok());
+  EXPECT_NE(verdict.ToString().find("max_intermediate_arity"),
+            std::string::npos);
+
+  Plan corrupt = PathPlan();
+  PlanVerdict bad = VerifyPlan(PathQuery(), corrupt, Database());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.FirstError().ok());
+}
+
+class HookTest : public ::testing::Test {
+ protected:
+  void TearDown() override { UninstallPlanVerifier(); }
+};
+
+TEST_F(HookTest, CompileRejectsCorruptPlansWhenInstalled) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PathQuery();
+  Plan corrupt = PathPlan();
+  corrupt.mutable_root()->projected = {0, 1};  // root != target schema
+
+  // Without the verifier the compiler happily lowers the corrupt tree.
+  EXPECT_TRUE(PhysicalPlan::Compile(q, corrupt, db).ok());
+
+  InstallPlanVerifier();
+  EXPECT_FALSE(PhysicalPlan::Compile(q, corrupt, db).ok());
+  // Valid plans still compile and execute.
+  Plan plan = PathPlan();
+  Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->Execute().status.ok());
+
+  // The flag gates the hook without uninstalling it.
+  EnablePlanVerification(false);
+  EXPECT_TRUE(PhysicalPlan::Compile(q, corrupt, db).ok());
+}
+
+TEST_F(HookTest, ExplainSurfacesVerdict) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  InstallPlanVerifier();
+  ExplainResult good = ExplainPlan(q, BucketEliminationPlanMcs(q, nullptr),
+                                   db, 3.0);
+  ASSERT_TRUE(good.status.ok());
+  EXPECT_EQ(good.verifier_verdict, "OK");
+  EXPECT_NE(good.ToString().find("verifier: OK"), std::string::npos);
+
+  Plan corrupt = StraightforwardPlan(q);
+  corrupt.mutable_root()->working.push_back(40);  // unbound attribute
+  ExplainResult bad = ExplainPlan(q, corrupt, db, 3.0);
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_NE(bad.verifier_verdict, "OK");
+  EXPECT_FALSE(bad.verifier_verdict.empty());
+  EXPECT_TRUE(bad.nodes.empty());  // rejected plans are never executed
+}
+
+TEST(PeakBytesRegressionTest, EmptyDatabaseReportsZeroPeakBytes) {
+  // Regression: scans and projections used to charge their fixed arena
+  // scratch (key/tuple buffers) even when the input was empty, so a run
+  // against an empty database reported a small nonzero peak_bytes.
+  Database db;
+  db.Put("edge", Relation{Schema({0, 1})});  // present but empty
+  ConjunctiveQuery q = PentagonQuery();
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, 1);
+    Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db);
+    ASSERT_TRUE(compiled.ok());
+    ExecutionResult run = compiled->Execute();
+    ASSERT_TRUE(run.status.ok());
+    EXPECT_TRUE(run.output.empty());
+    EXPECT_EQ(run.stats.peak_bytes, 0) << StrategyName(kind);
+    // Still zero on re-execution of the compiled plan (no stale arena
+    // high-water mark leaking through).
+    EXPECT_EQ(compiled->Execute().stats.peak_bytes, 0) << StrategyName(kind);
+  }
+  ExplainResult explain = ExplainPlan(q, StraightforwardPlan(q), db, 3.0);
+  ASSERT_TRUE(explain.status.ok());
+  EXPECT_EQ(explain.stats.peak_bytes, 0);
+  EXPECT_NE(explain.ToString().find("peak_bytes=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppr

@@ -1,0 +1,401 @@
+// Randomized mutation fuzzing for the full static-analysis layer
+// (analysis/verifier.h): take valid plans produced by all five paper
+// strategies over generated 3-COLOR and 3-SAT workloads, corrupt them
+// with one of a catalog of targeted mutators — logical-tree corruptions
+// checked by VerifyLogicalPlan, compiled-tree corruptions checked by
+// VerifyPhysicalPlan — and assert the verifier rejects 100% of mutants
+// while still accepting every pristine plan. Each mutation class must
+// fire often enough that a silently-dead check would be noticed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/physical_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "encode/sat.h"
+#include "exec/physical_plan.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ppr {
+namespace {
+
+std::unique_ptr<PlanNode> CloneNode(const PlanNode& node) {
+  auto copy = std::make_unique<PlanNode>();
+  copy->atom_index = node.atom_index;
+  copy->working = node.working;
+  copy->projected = node.projected;
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneNode(*child));
+  }
+  return copy;
+}
+
+Plan ClonePlan(const Plan& plan) { return Plan(CloneNode(*plan.root())); }
+
+void CollectNodes(PlanNode* node, std::vector<PlanNode*>* out) {
+  out->push_back(node);
+  for (auto& child : node->children) CollectNodes(child.get(), out);
+}
+
+void CollectPhysical(PhysicalNode* node, std::vector<PhysicalNode*>* out) {
+  out->push_back(node);
+  for (auto& child : node->children) CollectPhysical(child.get(), out);
+}
+
+// ---------------------------------------------------------------------
+// Logical mutators. Each attempts one corruption on a random node and
+// returns whether it applied (some classes need a node with the right
+// shape — e.g. an internal node or a label of size >= 2).
+
+using LogicalMutator = bool (*)(const ConjunctiveQuery&, Plan&, Rng&);
+
+bool AddUnboundWorkingAttr(const ConjunctiveQuery& query, Plan& plan,
+                           Rng& rng) {
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  PlanNode* node = nodes[rng.NextBounded(nodes.size())];
+  // An attribute id past everything the query binds: no scan produces it.
+  AttrId unbound = 0;
+  for (const Atom& atom : query.atoms()) {
+    for (AttrId a : atom.args) unbound = std::max(unbound, a + 1);
+  }
+  node->working.push_back(unbound);
+  return true;
+}
+
+bool DropProjectedAttr(const ConjunctiveQuery& query, Plan& plan, Rng& rng) {
+  (void)query;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> candidates;
+  for (PlanNode* node : nodes) {
+    if (!node->projected.empty()) candidates.push_back(node);
+  }
+  if (candidates.empty()) return false;
+  PlanNode* node = candidates[rng.NextBounded(candidates.size())];
+  // Dropping a projected attribute is always caught: at the root it
+  // breaks the target schema; elsewhere it either desyncs the parent's
+  // working label or (when a sibling still supplies the attribute) makes
+  // the projection premature — the attribute still occurs outside the
+  // subtree.
+  node->projected.erase(node->projected.begin() +
+                        static_cast<long>(rng.NextBounded(
+                            node->projected.size())));
+  return true;
+}
+
+bool RebindLeafAtom(const ConjunctiveQuery& query, Plan& plan, Rng& rng) {
+  if (query.num_atoms() < 2) return false;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> leaves;
+  for (PlanNode* node : nodes) {
+    if (node->IsLeaf()) leaves.push_back(node);
+  }
+  PlanNode* leaf = leaves[rng.NextBounded(leaves.size())];
+  // Point the leaf at a different atom: its labels no longer match the
+  // atom's attributes, and the displaced atom loses its only leaf.
+  const int other = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(query.num_atoms())));
+  if (other == leaf->atom_index) {
+    leaf->atom_index = (other + 1) % query.num_atoms();
+  } else {
+    leaf->atom_index = other;
+  }
+  return true;
+}
+
+bool OutOfRangeLeafAtom(const ConjunctiveQuery& query, Plan& plan, Rng& rng) {
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> leaves;
+  for (PlanNode* node : nodes) {
+    if (node->IsLeaf()) leaves.push_back(node);
+  }
+  leaves[rng.NextBounded(leaves.size())]->atom_index =
+      query.num_atoms() + static_cast<int>(rng.NextBounded(4));
+  return true;
+}
+
+bool UnsortWorkingLabel(const ConjunctiveQuery& query, Plan& plan, Rng& rng) {
+  (void)query;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> candidates;
+  for (PlanNode* node : nodes) {
+    if (node->working.size() >= 2) candidates.push_back(node);
+  }
+  if (candidates.empty()) return false;
+  PlanNode* node = candidates[rng.NextBounded(candidates.size())];
+  std::swap(node->working.front(), node->working.back());
+  return true;
+}
+
+bool DuplicateProjectedAttr(const ConjunctiveQuery& query, Plan& plan,
+                            Rng& rng) {
+  (void)query;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> candidates;
+  for (PlanNode* node : nodes) {
+    if (!node->projected.empty()) candidates.push_back(node);
+  }
+  if (candidates.empty()) return false;
+  PlanNode* node = candidates[rng.NextBounded(candidates.size())];
+  node->projected.push_back(node->projected.back());
+  return true;
+}
+
+bool AtomIndexOnInternalNode(const ConjunctiveQuery& query, Plan& plan,
+                             Rng& rng) {
+  (void)query;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  std::vector<PlanNode*> internals;
+  for (PlanNode* node : nodes) {
+    if (!node->IsLeaf()) internals.push_back(node);
+  }
+  if (internals.empty()) return false;
+  internals[rng.NextBounded(internals.size())]->atom_index = 0;
+  return true;
+}
+
+struct NamedLogicalMutator {
+  const char* name;
+  LogicalMutator apply;
+};
+
+constexpr NamedLogicalMutator kLogicalMutators[] = {
+    {"unbound-working-attr", AddUnboundWorkingAttr},
+    {"drop-projected-attr", DropProjectedAttr},
+    {"rebind-leaf-atom", RebindLeafAtom},
+    {"out-of-range-leaf-atom", OutOfRangeLeafAtom},
+    {"unsort-working-label", UnsortWorkingLabel},
+    {"duplicate-projected-attr", DuplicateProjectedAttr},
+    {"atom-index-on-internal-node", AtomIndexOnInternalNode},
+};
+
+// ---------------------------------------------------------------------
+// Physical mutators: corrupt one compiled node's precomputed column maps.
+
+using PhysicalMutator = bool (*)(PhysicalPlan&, Rng&);
+
+std::vector<PhysicalNode*> JoinNodes(PhysicalPlan& plan) {
+  std::vector<PhysicalNode*> nodes;
+  CollectPhysical(&plan.mutable_root(), &nodes);
+  std::vector<PhysicalNode*> joins;
+  for (PhysicalNode* node : nodes) {
+    if (!node->joins.empty()) joins.push_back(node);
+  }
+  return joins;
+}
+
+std::vector<PhysicalNode*> ProjectNodes(PhysicalPlan& plan) {
+  std::vector<PhysicalNode*> nodes;
+  CollectPhysical(&plan.mutable_root(), &nodes);
+  std::vector<PhysicalNode*> projects;
+  for (PhysicalNode* node : nodes) {
+    if (node->has_project) projects.push_back(node);
+  }
+  return projects;
+}
+
+bool KeyColOutOfBounds(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> joins = JoinNodes(plan);
+  if (joins.empty()) return false;
+  PhysicalNode* node = joins[rng.NextBounded(joins.size())];
+  JoinSpec& spec = node->joins[rng.NextBounded(node->joins.size())];
+  if (spec.left_key_cols.empty()) return false;
+  const size_t k = rng.NextBounded(spec.left_key_cols.size());
+  if (rng.NextBernoulli(0.5)) {
+    spec.left_key_cols[k] = 1000;
+  } else {
+    spec.right_key_cols[k] = 1000;
+  }
+  return true;
+}
+
+bool DropJoinKeyPair(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> joins = JoinNodes(plan);
+  if (joins.empty()) return false;
+  PhysicalNode* node = joins[rng.NextBounded(joins.size())];
+  JoinSpec& spec = node->joins[rng.NextBounded(node->joins.size())];
+  if (spec.left_key_cols.empty()) return false;
+  // A forgotten key pair silently degrades the join toward a cross
+  // product — the exact bug class the width bound guards against.
+  spec.left_key_cols.pop_back();
+  spec.right_key_cols.pop_back();
+  return true;
+}
+
+bool MismatchedKeyMapLengths(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> joins = JoinNodes(plan);
+  if (joins.empty()) return false;
+  PhysicalNode* node = joins[rng.NextBounded(joins.size())];
+  JoinSpec& spec = node->joins[rng.NextBounded(node->joins.size())];
+  spec.right_key_cols.push_back(0);
+  return true;
+}
+
+bool MaskColOutOfBounds(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> projects = ProjectNodes(plan);
+  if (projects.empty()) return false;
+  PhysicalNode* node = projects[rng.NextBounded(projects.size())];
+  if (node->project.cols.empty()) return false;
+  node->project.cols[rng.NextBounded(node->project.cols.size())] = 1000;
+  return true;
+}
+
+bool PermuteProjectionMask(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> projects = ProjectNodes(plan);
+  std::vector<PhysicalNode*> candidates;
+  for (PhysicalNode* node : projects) {
+    if (node->project.cols.size() >= 2) candidates.push_back(node);
+  }
+  if (candidates.empty()) return false;
+  PhysicalNode* node = candidates[rng.NextBounded(candidates.size())];
+  // Swapping two mask columns keeps every index in bounds but breaks the
+  // column-to-attribute correspondence with out_schema.
+  std::swap(node->project.cols.front(), node->project.cols.back());
+  return true;
+}
+
+bool DropProjection(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> projects = ProjectNodes(plan);
+  if (projects.empty()) return false;
+  PhysicalNode* node = projects[rng.NextBounded(projects.size())];
+  node->has_project = false;
+  return true;
+}
+
+bool CorruptOutputSchema(PhysicalPlan& plan, Rng& rng) {
+  std::vector<PhysicalNode*> nodes;
+  CollectPhysical(&plan.mutable_root(), &nodes);
+  PhysicalNode* node = nodes[rng.NextBounded(nodes.size())];
+  std::vector<AttrId> attrs = node->output_schema.attrs();
+  if (attrs.empty()) return false;
+  attrs[rng.NextBounded(attrs.size())] = 1000;
+  node->output_schema = Schema(std::move(attrs));
+  return true;
+}
+
+struct NamedPhysicalMutator {
+  const char* name;
+  PhysicalMutator apply;
+};
+
+constexpr NamedPhysicalMutator kPhysicalMutators[] = {
+    {"key-col-out-of-bounds", KeyColOutOfBounds},
+    {"drop-join-key-pair", DropJoinKeyPair},
+    {"mismatched-key-map-lengths", MismatchedKeyMapLengths},
+    {"mask-col-out-of-bounds", MaskColOutOfBounds},
+    {"permute-projection-mask", PermuteProjectionMask},
+    {"drop-projection", DropProjection},
+    {"corrupt-output-schema", CorruptOutputSchema},
+};
+
+// ---------------------------------------------------------------------
+
+struct Workload {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+Workload RandomWorkload(Rng& rng) {
+  Workload w;
+  if (rng.NextBernoulli(0.5)) {
+    const int n = rng.NextInt(5, 10);
+    const int m = rng.NextInt(n, std::min(2 * n, n * (n - 1) / 2));
+    w.query = KColorQuery(ConnectedRandomGraph(n, m, rng));
+    AddColoringRelations(3, &w.db);
+  } else {
+    const Cnf cnf = RandomKSat(rng.NextInt(5, 9), rng.NextInt(6, 12), 3, rng);
+    w.query = SatQuery(cnf);
+    AddSatRelations(3, &w.db);
+  }
+  return w;
+}
+
+StrategyKind RandomStrategy(Rng& rng) {
+  const std::vector<StrategyKind> kinds = AllStrategies();
+  return kinds[rng.NextBounded(kinds.size())];
+}
+
+TEST(PlanMutationFuzzTest, LogicalVerifierRejectsEveryCorruption) {
+  Rng rng(0x5eed);
+  std::map<std::string, int> applied;
+  std::map<std::string, int> rejected;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Workload w = RandomWorkload(rng);
+    const Plan pristine =
+        BuildStrategyPlan(RandomStrategy(rng), w.query, rng.NextU64());
+    ASSERT_TRUE(VerifyLogicalPlan(w.query, pristine, &w.db).ok())
+        << "pristine plan rejected on trial " << trial;
+
+    const NamedLogicalMutator& mutator =
+        kLogicalMutators[rng.NextBounded(std::size(kLogicalMutators))];
+    Plan mutant = ClonePlan(pristine);
+    if (!mutator.apply(w.query, mutant, rng)) continue;
+    applied[mutator.name]++;
+    const Status verdict = VerifyLogicalPlan(w.query, mutant, &w.db);
+    if (!verdict.ok()) {
+      rejected[mutator.name]++;
+    } else {
+      ADD_FAILURE() << "mutation '" << mutator.name
+                    << "' survived verification on trial " << trial << "\n"
+                    << mutant.ToString(w.query);
+    }
+  }
+  for (const NamedLogicalMutator& mutator : kLogicalMutators) {
+    EXPECT_GE(applied[mutator.name], 10)
+        << "mutation class '" << mutator.name << "' barely exercised";
+    EXPECT_EQ(rejected[mutator.name], applied[mutator.name]);
+  }
+}
+
+TEST(PlanMutationFuzzTest, PhysicalVerifierRejectsEveryCorruption) {
+  Rng rng(0x9e3779b97f4a7c15ULL);
+  std::map<std::string, int> applied;
+  std::map<std::string, int> rejected;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Workload w = RandomWorkload(rng);
+    const Plan plan =
+        BuildStrategyPlan(RandomStrategy(rng), w.query, rng.NextU64());
+    Result<PhysicalPlan> compiled = PhysicalPlan::Compile(w.query, plan, w.db);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(VerifyPhysicalPlan(w.query, plan, w.db, *compiled).ok())
+        << "pristine compiled plan rejected on trial " << trial;
+
+    const NamedPhysicalMutator& mutator =
+        kPhysicalMutators[rng.NextBounded(std::size(kPhysicalMutators))];
+    if (!mutator.apply(*compiled, rng)) continue;
+    applied[mutator.name]++;
+    const Status verdict = VerifyPhysicalPlan(w.query, plan, w.db, *compiled);
+    if (!verdict.ok()) {
+      rejected[mutator.name]++;
+    } else {
+      ADD_FAILURE() << "physical mutation '" << mutator.name
+                    << "' survived verification on trial " << trial;
+    }
+  }
+  for (const NamedPhysicalMutator& mutator : kPhysicalMutators) {
+    EXPECT_GE(applied[mutator.name], 5)
+        << "mutation class '" << mutator.name << "' barely exercised";
+    EXPECT_EQ(rejected[mutator.name], applied[mutator.name]);
+  }
+}
+
+}  // namespace
+}  // namespace ppr
