@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "core/strategies.h"
 #include "exec/physical_plan.h"
+#include "obs/trace.h"
 #include "query/conjunctive_query.h"
 #include "relational/database.h"
 #include "relational/exec_context.h"
@@ -120,6 +121,29 @@ void BM_CompiledPlanExecute(benchmark::State& state) {
   state.SetItemsProcessed(produced);
 }
 BENCHMARK(BM_CompiledPlanExecute)->Range(1 << 8, 1 << 13);
+
+// Same workload with per-operator span recording into an explicit sink:
+// the enabled-path cost of the trace layer. Comparing against
+// BM_CompiledPlanExecute (whose null sink costs one branch per operator)
+// is the overhead check the observability layer is held to.
+void BM_CompiledPlanExecuteTraced(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Database db;
+  db.Put("R", RandomRelation({0, 1}, rows, 100, 11));
+  db.Put("S", RandomRelation({1, 2}, rows, 100, 12));
+  ConjunctiveQuery query({{"R", {0, 1}}, {"S", {1, 2}}}, {0, 2});
+  const Plan plan = EarlyProjectionPlan(query);
+  auto compiled = PhysicalPlan::Compile(query, plan, db);
+  TraceSink sink;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    ExecutionResult result = compiled->Execute(kCounterMax, &sink);
+    produced += static_cast<int64_t>(result.stats.tuples_produced);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(produced);
+}
+BENCHMARK(BM_CompiledPlanExecuteTraced)->Range(1 << 8, 1 << 13);
 
 void BM_BindAtom(benchmark::State& state) {
   const int64_t rows = state.range(0);

@@ -69,6 +69,11 @@ void InstallPlanVerifier(bool enable) {
     // verification linear in plan size.
     return VerifyPhysicalPlan(query, plan, db, physical);
   };
+  hooks.node_bounds = [](const ConjunctiveQuery& query, const Plan& plan,
+                         const Database& db,
+                         std::vector<PlanNodeBound>* bounds) {
+    return NodeBoundsPreOrder(query, plan, db, bounds);
+  };
   SetPlanVerifierHooks(std::move(hooks));
   if (enable) EnablePlanVerification(true);
 }

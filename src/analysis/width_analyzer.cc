@@ -8,7 +8,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include <unordered_map>
+
 #include "analysis/schedule.h"
+#include "common/check.h"
 #include "core/theory.h"
 #include "graph/tree_decomposition.h"
 #include "graph/treewidth.h"
@@ -123,6 +126,16 @@ double DomainCap(const std::vector<AttrId>& attrs, const DbStats& db) {
   return cap;
 }
 
+// Numbers the plan nodes pre-order (the numbering shared with
+// ExplainResult::nodes and compiled PhysicalNode ids).
+void MapPreOrder(const PlanNode* node, int32_t* next,
+                 std::unordered_map<const PlanNode*, int32_t>* index) {
+  (*index)[node] = (*next)++;
+  for (const auto& child : node->children) {
+    MapPreOrder(child.get(), next, index);
+  }
+}
+
 }  // namespace
 
 std::string StaticAnalysis::ToString() const {
@@ -220,6 +233,37 @@ StaticAnalysis AnalyzePlan(const ConjunctiveQuery& query, const Plan& plan,
   analysis.decomposition_width = analysis.max_intermediate_arity - 1;
   analysis.treewidth_lower_bound = MmdLowerBound(BuildJoinGraph(query));
   return analysis;
+}
+
+Status NodeBoundsPreOrder(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db,
+                          std::vector<PlanNodeBound>* bounds) {
+  StaticAnalysis analysis = AnalyzePlan(query, plan, db);
+  if (!analysis.status.ok()) return analysis.status;
+
+  std::unordered_map<const PlanNode*, int32_t> index;
+  int32_t next = 0;
+  MapPreOrder(plan.root(), &next, &index);
+  bounds->assign(index.size(), PlanNodeBound{});
+
+  // The schedule aligns 1:1 with AnalyzePlan::per_op and each scheduled
+  // operator points at its logical node; fold the per-operator bounds to
+  // per-node maxima.
+  const OpSchedule schedule = BuildSchedule(query, plan);
+  PPR_CHECK(schedule.num_ops() ==
+            static_cast<int>(analysis.per_op.size()));
+  for (int i = 0; i < schedule.num_ops(); ++i) {
+    const ScheduledOp& op = schedule.ops[static_cast<size_t>(i)];
+    const OpBound& ob = analysis.per_op[static_cast<size_t>(i)];
+    auto it = index.find(op.node);
+    if (it == index.end()) {
+      return Status::Internal("scheduled operator points outside the plan");
+    }
+    PlanNodeBound& nb = (*bounds)[static_cast<size_t>(it->second)];
+    nb.arity_bound = std::max(nb.arity_bound, ob.arity);
+    nb.rows_bound = std::max(nb.rows_bound, ob.size_bound);
+  }
+  return Status::Ok();
 }
 
 Status CrossCheckWidth(const ConjunctiveQuery& query, const Plan& plan) {

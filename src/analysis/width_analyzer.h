@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/plan.h"
+#include "exec/verify_hook.h"
 #include "query/conjunctive_query.h"
 #include "relational/database.h"
 
@@ -71,6 +72,19 @@ struct StaticAnalysis {
 /// unconditionally).
 StaticAnalysis AnalyzePlan(const ConjunctiveQuery& query, const Plan& plan,
                            const Database& db);
+
+/// Folds AnalyzePlan's per-operator bounds onto the plan nodes, in the
+/// pre-order numbering shared with ExplainResult::nodes, PhysicalNode
+/// ids, and trace spans (root = 0, node before its children, children
+/// left to right): each node's bound is the max over the operators the
+/// schedule attributes to it (its scan or fold joins plus the optional
+/// trailing projection). `bounds` gets exactly Plan::NumNodes entries.
+/// An infinite row bound stays +infinity; arity bounds are always finite
+/// because arities are symbolic. This is the `node_bounds` verifier hook
+/// (exec/verify_hook.h) backing the predicted side of EXPLAIN ANALYZE.
+Status NodeBoundsPreOrder(const ConjunctiveQuery& query, const Plan& plan,
+                          const Database& db,
+                          std::vector<PlanNodeBound>* bounds);
 
 /// Cross-checks the plan's static width against the theory module
 /// (Theorems 1-2): the schedule's max arity must equal the plan's join

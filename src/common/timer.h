@@ -26,6 +26,42 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// RAII stopwatch accumulating its elapsed time into a caller-owned
+/// sink: `*sink_seconds += elapsed` on destruction (or on an explicit
+/// Stop(), whichever comes first). Replaces the manual
+/// `WallTimer timer; ... x = timer.ElapsedSeconds();` pairs and keeps
+/// timing correct across early returns. A null sink disarms the timer
+/// entirely — no clock is read — so conditionally-enabled callers (the
+/// trace span layer) pay nothing when disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_seconds) : sink_(sink_seconds) {
+    if (sink_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimer() { Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Adds the elapsed time to the sink now and disarms the timer (the
+  /// destructor and further Stop() calls become no-ops). Returns the
+  /// seconds recorded, 0 when already stopped or disarmed. Call before
+  /// returning a local whose member is the sink — relying on the
+  /// destructor there would race NRVO.
+  double Stop() {
+    if (sink_ == nullptr) return 0.0;
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    *sink_ += seconds;
+    sink_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  double* sink_;
+};
+
 }  // namespace ppr
 
 #endif  // PPR_COMMON_TIMER_H_

@@ -24,7 +24,7 @@ ExecutionResult ExecutePlanWithOptions(const ConjunctiveQuery& query,
     result.status = compiled.status();
     return result;
   }
-  return compiled->Execute(options.tuple_budget);
+  return compiled->Execute(options.tuple_budget, options.trace);
 }
 
 ExecutionResult ExecuteStraightforward(const ConjunctiveQuery& query,

@@ -11,6 +11,8 @@
 
 namespace ppr {
 
+class TraceSink;
+
 /// Which join operator the executor uses at every internal node. The
 /// paper fixed hash joins ("hash joins proved most efficient in our
 /// setting"); kSortMerge exists to test that claim on identical plans.
@@ -24,6 +26,10 @@ struct ExecutionOptions {
   /// Bound on total tuples produced (the deterministic timeout).
   Counter tuple_budget = kCounterMax;
   JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+  /// Span sink for per-operator tracing (obs/trace.h). Null defers to
+  /// the process-wide PPR_TRACE sink; with both absent operators pay one
+  /// branch each.
+  TraceSink* trace = nullptr;
 };
 
 /// Outcome of executing one plan.

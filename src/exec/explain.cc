@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "exec/verify_hook.h"
+#include "obs/trace.h"
 #include "relational/exec_context.h"
 #include "relational/ops.h"
 
@@ -42,6 +45,10 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
   out->push_back(NodeProfile{});
 
   Relation result;
+  // Attribute this node's operator spans to its pre-order index (the
+  // recursion below retargets it for the children, so it is restored
+  // before every kernel call on this node's behalf).
+  ctx.set_trace_node(static_cast<int32_t>(my_index));
   if (node->IsLeaf()) {
     const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
     const Relation* stored = *db.Get(atom.relation);
@@ -69,6 +76,7 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
         first = false;
       } else {
         if (ctx.exhausted()) break;
+        ctx.set_trace_node(static_cast<int32_t>(my_index));
         acc = NaturalJoin(acc, child_rel, ctx);
         std::vector<AttrId> merged;
         std::set_union(acc_est.attrs.begin(), acc_est.attrs.end(),
@@ -79,6 +87,7 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
       }
     }
     if (node->Projects() && !ctx.exhausted()) {
+      ctx.set_trace_node(static_cast<int32_t>(my_index));
       acc = Project(acc, node->projected, ctx);
     }
     result = std::move(acc);
@@ -102,12 +111,24 @@ std::string ExplainResult::ToString() const {
   for (const NodeProfile& p : nodes) {
     out << std::string(static_cast<size_t>(p.depth) * 2, ' ') << p.label
         << "  [arity " << p.working_arity << "->" << p.projected_arity
-        << "]  est=" << p.estimated_rows << " actual=" << p.actual_rows
-        << "\n";
+        << "]  est=" << p.estimated_rows << " actual=" << p.actual_rows;
+    if (analyzed) {
+      // Measured beside predicted: the span actuals, then the width
+      // analyzer's static bounds when a verifier supplied them.
+      out << "  | actual arity<=" << p.actual_max_arity
+          << " bytes=" << p.actual_bytes << " ns=" << p.actual_ns;
+      if (p.predicted_arity_bound >= 0) {
+        out << "  predicted arity<=" << p.predicted_arity_bound
+            << " rows<=" << p.predicted_rows_bound;
+      }
+      if (p.arity_violation) out << "  !! arity bound violated";
+    }
+    out << "\n";
   }
   out << "-- tuples_produced=" << stats.tuples_produced
       << " max_intermediate_rows=" << stats.max_intermediate_rows
-      << " peak_bytes=" << stats.peak_bytes << "\n";
+      << " peak_bytes=" << stats.peak_bytes
+      << " num_semijoins=" << stats.num_semijoins << "\n";
   if (!verifier_verdict.empty()) {
     out << "-- verifier: " << verifier_verdict << "\n";
   }
@@ -130,7 +151,7 @@ double ExplainResult::WorstEstimateRatio() const {
 
 ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
                           const Database& db, double domain_size,
-                          Counter tuple_budget) {
+                          Counter tuple_budget, bool analyze) {
   ExplainResult result;
   PPR_CHECK(domain_size >= 1.0);
   if (plan.empty()) {
@@ -143,7 +164,8 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   // Surface the static-analysis verdict when verification is enabled; a
   // rejected plan is reported, not executed.
   const PlanVerifierHooks& hooks = GetPlanVerifierHooks();
-  if (PlanVerificationEnabled() && hooks.logical) {
+  const bool verify = PlanVerificationEnabled();
+  if (verify && hooks.logical) {
     Status verdict = hooks.logical(query, plan, db);
     result.verifier_verdict = verdict.ok() ? "OK" : verdict.ToString();
     if (!verdict.ok()) {
@@ -153,12 +175,57 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   }
 
   ExecContext ctx(tuple_budget);
+  // ANALYZE profiles through a private sink (never the PPR_TRACE one:
+  // the annotations must not depend on process-wide state). Sized so one
+  // run can never wrap: each node executes at most its child-count many
+  // joins plus a scan and a projection, and the plan is a tree, so 4
+  // spans per node over-provisions.
+  TraceSink sink(static_cast<size_t>(
+      std::max(4 * plan.NumNodes(), 1024)));
+  if (analyze) ctx.set_tracer(&sink);
   Estimate est;
   EvalProfiled(query, plan.root(), db, domain_size, 0, ctx, &result.nodes,
                &est);
   result.stats = ctx.stats();
   if (ctx.exhausted()) {
     result.status = Status::ResourceExhausted("tuple budget exceeded");
+  }
+  if (!analyze) return result;
+
+  result.analyzed = true;
+  for (const TraceSpan& span : sink.Snapshot()) {
+    if (span.node_id < 0 ||
+        static_cast<size_t>(span.node_id) >= result.nodes.size()) {
+      continue;
+    }
+    NodeProfile& p = result.nodes[static_cast<size_t>(span.node_id)];
+    p.actual_ns += span.duration_ns;
+    p.actual_bytes = std::max(p.actual_bytes, span.bytes);
+    p.actual_max_arity = std::max(p.actual_max_arity, span.arity_out);
+  }
+
+  // The predicted side: the width analyzer's per-node bounds, via the
+  // verifier registration. A measured arity above a predicted bound
+  // means the static proof is wrong — escalate like a verifier failure.
+  if (verify && hooks.node_bounds) {
+    std::vector<PlanNodeBound> bounds;
+    Status bound_status = hooks.node_bounds(query, plan, db, &bounds);
+    if (bound_status.ok() && bounds.size() == result.nodes.size()) {
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        NodeProfile& p = result.nodes[i];
+        p.predicted_arity_bound = bounds[i].arity_bound;
+        p.predicted_rows_bound = bounds[i].rows_bound;
+        if (p.predicted_arity_bound >= 0 &&
+            p.actual_max_arity > p.predicted_arity_bound) {
+          p.arity_violation = true;
+          result.verifier_verdict =
+              "arity bound violated at node " + std::to_string(i) +
+              ": actual " + std::to_string(p.actual_max_arity) +
+              " > predicted " + std::to_string(p.predicted_arity_bound);
+          result.status = Status::Internal(result.verifier_verdict);
+        }
+      }
+    }
   }
   return result;
 }

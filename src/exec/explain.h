@@ -26,6 +26,27 @@ struct NodeProfile {
   int projected_arity = 0; // |L_p|
   double estimated_rows = 0.0;  // independence-assumption estimate
   int64_t actual_rows = 0;      // measured output rows
+
+  // ANALYZE-mode actuals, aggregated from the node's operator spans
+  // (obs/trace.h): total operator time, the largest single-operator
+  // footprint (arena scratch + output bytes), and the widest operator
+  // output actually materialized while evaluating the node. Zero when
+  // the run was not analyzed.
+  int64_t actual_ns = 0;
+  int64_t actual_bytes = 0;
+  int actual_max_arity = 0;
+
+  // Static predictions from the width analyzer, via the `node_bounds`
+  // verifier hook. predicted_arity_bound is -1 ("no prediction") when
+  // verification is off, no verifier is installed, or the analyzer
+  // attributed no operator to this node; predicted_rows_bound may be
+  // +infinity when the analyzer proved no finite row bound.
+  int predicted_arity_bound = -1;
+  double predicted_rows_bound = 0.0;
+
+  // True when the measured arity exceeds the predicted bound — the
+  // analyzer's proof is wrong, which ANALYZE escalates to an error.
+  bool arity_violation = false;
 };
 
 /// Result of profiling one plan execution.
@@ -40,7 +61,13 @@ struct ExplainResult {
   /// verification is enabled and a verifier is installed
   /// (exec/verify_hook.h); empty when verification did not run. A
   /// failing verdict also fails `status` — the plan is never executed.
+  /// An ANALYZE run whose measured arity beats a predicted bound also
+  /// reports the violation here (and fails `status` with Internal).
   std::string verifier_verdict;
+
+  /// True when the run was profiled with per-operator spans (ANALYZE
+  /// mode) and the per-node actuals above are meaningful.
+  bool analyzed = false;
 
   /// Indented EXPLAIN ANALYZE-style rendering, followed by a summary
   /// line with the aggregate counters and, when verification ran, a
@@ -57,9 +84,20 @@ struct ExplainResult {
 /// cardinality (uniform attributes over a domain of `domain_size` values,
 /// independent predicates — the model of optsearch/cost_model.h) and the
 /// actual row count.
+///
+/// With `analyze` set (EXPLAIN ANALYZE) the run additionally records
+/// per-operator spans into a private sink and annotates every node with
+/// measured time, bytes, and widest materialized arity beside the width
+/// analyzer's static predictions (when plan verification is enabled and
+/// a verifier with a `node_bounds` hook is installed). A node whose
+/// measured arity exceeds its predicted bound is flagged and the result
+/// status becomes Internal: the static proof was wrong. The analyze=false
+/// rendering is byte-identical whether or not process-wide tracing
+/// (PPR_TRACE) is on.
 ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
                           const Database& db, double domain_size,
-                          Counter tuple_budget = kCounterMax);
+                          Counter tuple_budget = kCounterMax,
+                          bool analyze = false);
 
 }  // namespace ppr
 

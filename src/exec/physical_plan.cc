@@ -5,6 +5,9 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "exec/verify_hook.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/sort_merge.h"
 
 namespace ppr {
@@ -16,8 +19,10 @@ namespace {
 // schema is the left-to-right fold of its children's output schemas.
 std::unique_ptr<PhysicalNode> CompileNode(const ConjunctiveQuery& query,
                                           const PlanNode* node,
-                                          const Database& db) {
+                                          const Database& db,
+                                          int32_t* next_node_id) {
   auto phys = std::make_unique<PhysicalNode>();
+  phys->node_id = (*next_node_id)++;
   Schema working;
   if (node->IsLeaf()) {
     const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
@@ -29,7 +34,8 @@ std::unique_ptr<PhysicalNode> CompileNode(const ConjunctiveQuery& query,
   } else {
     phys->children.reserve(node->children.size());
     for (const auto& child : node->children) {
-      phys->children.push_back(CompileNode(query, child.get(), db));
+      phys->children.push_back(CompileNode(query, child.get(), db,
+                                           next_node_id));
     }
     working = phys->children.front()->output_schema;
     phys->joins.reserve(phys->children.size() - 1);
@@ -55,6 +61,7 @@ std::unique_ptr<PhysicalNode> CompileNode(const ConjunctiveQuery& query,
 Relation Exec(const PhysicalNode& node, JoinAlgorithm join_algorithm,
               ExecContext& ctx) {
   if (node.IsLeaf()) {
+    ctx.set_trace_node(node.node_id);
     Relation bound = ScanAtom(*node.stored, node.scan, ctx);
     if (node.has_project && !ctx.exhausted()) {
       return ProjectColumns(bound, node.project, ctx);
@@ -66,11 +73,15 @@ Relation Exec(const PhysicalNode& node, JoinAlgorithm join_algorithm,
   for (size_t i = 1; i < node.children.size() && !ctx.exhausted(); ++i) {
     Relation next = Exec(*node.children[i], join_algorithm, ctx);
     if (ctx.exhausted()) break;
+    // Children retargeted the span attribution; point it back at this
+    // node for the fold step's join (and the projection below).
+    ctx.set_trace_node(node.node_id);
     acc = join_algorithm == JoinAlgorithm::kSortMerge
               ? SortMergeJoin(acc, next, ctx)
               : HashJoin(acc, next, node.joins[i - 1], ctx);
   }
   if (node.has_project && !ctx.exhausted()) {
+    ctx.set_trace_node(node.node_id);
     return ProjectColumns(acc, node.project, ctx);
   }
   return acc;
@@ -101,7 +112,9 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
     Status verdict = hooks.logical(query, plan, db);
     if (!verdict.ok()) return verdict;
   }
-  PhysicalPlan compiled(CompileNode(query, plan.root(), db), join_algorithm);
+  int32_t next_node_id = 0;
+  PhysicalPlan compiled(CompileNode(query, plan.root(), db, &next_node_id),
+                        join_algorithm);
   if (verify && hooks.compiled) {
     Status verdict = hooks.compiled(query, plan, db, compiled);
     if (!verdict.ok()) return verdict;
@@ -109,14 +122,25 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
   return compiled;
 }
 
-ExecutionResult PhysicalPlan::Execute(Counter tuple_budget) {
+ExecutionResult PhysicalPlan::Execute(Counter tuple_budget,
+                                      TraceSink* trace) {
   ExecutionResult result;
   arena_.Reset();
   ExecContext ctx(tuple_budget, &arena_);
+  TraceSink* sink = trace != nullptr ? trace : GlobalTraceSinkIfEnabled();
+  const uint64_t span_mark = sink != nullptr ? sink->total_recorded() : 0;
+  ctx.set_tracer(sink);
   WallTimer timer;
   Relation output = Exec(*root_, join_algorithm_, ctx);
   result.seconds = timer.ElapsedSeconds();
   result.stats = ctx.stats();
+  if (sink != nullptr) {
+    ctx.stats().PublishTo(&GlobalMetrics());
+    PublishSpanMetrics(sink->SnapshotSince(span_mark), &GlobalMetrics());
+    if (sink == GlobalTraceSinkIfEnabled()) {
+      (void)FlushTraceArtifacts();
+    }
+  }
   if (ctx.exhausted()) {
     result.status = Status::ResourceExhausted("tuple budget exceeded");
   } else {

@@ -17,11 +17,18 @@
 
 namespace ppr {
 
+class TraceSink;
+
 /// One logical plan node lowered to physical form: stored-relation
 /// pointers, scan bindings, join column maps, and projection masks are
 /// all resolved at compile time, so execution never touches schemas,
 /// attribute ids, or the catalog.
 struct PhysicalNode {
+  /// Pre-order index of the logical node this was lowered from (root = 0,
+  /// node before its children, children left to right) — the numbering
+  /// shared with ExplainResult::nodes and with trace spans' node_id.
+  int32_t node_id = -1;
+
   /// Leaf: the stored relation captured from the database, plus the atom
   /// binding (rename / repeated-attribute selection).
   const Relation* stored = nullptr;
@@ -76,7 +83,15 @@ class PhysicalPlan {
   /// Runs the compiled plan under `tuple_budget`. Scratch memory from
   /// prior runs is reused, so steady-state executions make no heap
   /// allocations outside the output relations.
-  ExecutionResult Execute(Counter tuple_budget = kCounterMax);
+  ///
+  /// Operator spans are recorded into `trace` when non-null, otherwise
+  /// into the process-wide sink when PPR_TRACE is enabled
+  /// (obs/trace.h); with both absent the kernels pay one branch each and
+  /// the run leaves no other observability residue. Traced runs also
+  /// publish their ExecStats and per-span histograms to GlobalMetrics(),
+  /// and refresh the PPR_TRACE artifacts when the global sink was used.
+  ExecutionResult Execute(Counter tuple_budget = kCounterMax,
+                          TraceSink* trace = nullptr);
 
   /// Schema of the answer relation (the root's projected label).
   const Schema& output_schema() const { return root_->output_schema; }

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/ops.h"
 
 namespace ppr {
@@ -16,6 +18,7 @@ SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
   PPR_CHECK(m > 0);
 
   ExecContext ctx;
+  ctx.set_tracer(GlobalTraceSinkIfEnabled());
 
   // Materialize each atom as its own relation over the atom's attributes.
   std::vector<Relation> relations;
@@ -54,12 +57,15 @@ SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
       const Relation& filter = relations[static_cast<size_t>(r.filter)];
       const int64_t before = target.size();
       target = SemiJoinFiltered(target, filter, r.spec, ctx);
-      out.semijoins_performed++;
       removed_this_round += before - target.size();
     }
     out.tuples_removed += removed_this_round;
     if (removed_this_round == 0) break;
   }
+  // The kernel counts its own invocations now (ExecStats::num_semijoins);
+  // report the same number so the two views cannot drift.
+  out.semijoins_performed = ctx.stats().num_semijoins;
+  if (ctx.tracer() != nullptr) ctx.stats().PublishTo(&GlobalMetrics());
 
   // Rewrite the query so atom i reads its reduced relation; attribute
   // order of the new relation is the atom's distinct-attribute order, so

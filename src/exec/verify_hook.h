@@ -2,6 +2,7 @@
 #define PPR_EXEC_VERIFY_HOOK_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "core/plan.h"
@@ -12,13 +13,30 @@ namespace ppr {
 
 class PhysicalPlan;
 
+/// Static bounds the width analyzer proves for one plan node, in the
+/// shared pre-order numbering (root = 0, node before its children,
+/// children left to right). EXPLAIN ANALYZE prints these beside the
+/// actuals and flags any run whose observed arity exceeds arity_bound —
+/// a violated bound means the analyzer, not the engine, is wrong.
+struct PlanNodeBound {
+  /// Max arity of any operator output while evaluating the node
+  /// (kUnbounded when the analyzer proved nothing).
+  int arity_bound = kUnbounded;
+  /// Upper bound on any operator's output rows at the node; +infinity
+  /// when unbounded.
+  double rows_bound = 0.0;
+
+  static constexpr int kUnbounded = -1;
+};
+
 /// Verification callbacks the static-analysis layer installs into the
 /// execution layer (exec cannot depend on analysis — analysis depends on
 /// exec for the physical plan types — so the wiring is a registration).
 /// When verification is enabled, PhysicalPlan::Compile runs `logical`
 /// before and `compiled` after lowering and fails compilation on a
 /// non-OK verdict; ExplainPlan runs `logical` and surfaces the verdict
-/// in its rendering.
+/// in its rendering, and uses `node_bounds` for the predicted side of
+/// EXPLAIN ANALYZE.
 struct PlanVerifierHooks {
   std::function<Status(const ConjunctiveQuery&, const Plan&,
                        const Database&)>
@@ -26,6 +44,10 @@ struct PlanVerifierHooks {
   std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
                        const PhysicalPlan&)>
       compiled;
+  /// Fills one PlanNodeBound per plan node, pre-order.
+  std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
+                       std::vector<PlanNodeBound>*)>
+      node_bounds;
 };
 
 /// Installs the hooks (replacing any previous ones).

@@ -1,0 +1,39 @@
+#ifndef PPR_OBS_EXPORTERS_H_
+#define PPR_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppr {
+
+/// Renders spans as a Chrome trace_event JSON document (complete "X"
+/// events, microsecond timestamps): load the file in chrome://tracing or
+/// https://ui.perfetto.dev to see the per-operator timeline. Span data
+/// fields (rows, arity, bytes, hash-table counters, plan node) appear as
+/// event args.
+std::string SpansToChromeTrace(const std::vector<TraceSpan>& spans);
+
+/// Writes `content` to `path`, replacing the file.
+Status WriteFileAtomicEnough(const std::string& path,
+                             const std::string& content);
+
+/// Publishes one run's spans into `registry` as the standard
+/// per-operator histograms: op.rows_out, op.ns, op.bytes, plus the
+/// per-kind time histograms op.<kind>.ns.
+void PublishSpanMetrics(const std::vector<TraceSpan>& spans,
+                        MetricsRegistry* registry);
+
+/// Rewrites the global trace artifacts from the global sink and registry:
+/// the Chrome trace at TracePath() and the metrics JSONL at
+/// TracePath() + ".metrics.jsonl". No-op (OK) when tracing is disabled.
+/// Called by the execution layer after every traced run, so the files are
+/// always consistent with everything traced so far.
+Status FlushTraceArtifacts();
+
+}  // namespace ppr
+
+#endif  // PPR_OBS_EXPORTERS_H_

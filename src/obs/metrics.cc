@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+int64_t Lookup(const std::map<std::string, int64_t, std::less<>>& m,
+               std::string_view name) {
+  auto it = m.find(name);
+  return it == m.end() ? 0 : it->second;
+}
+
+void AppendHistogramJson(std::ostringstream& out, const std::string& name,
+                         const Log2Histogram& h) {
+  out << "{\"metric\":\"" << name << "\",\"type\":\"log2_histogram\""
+      << ",\"count\":" << h.count << ",\"sum\":" << h.sum
+      << ",\"max\":" << h.max << ",\"mean\":" << h.Mean()
+      << ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < Log2Histogram::kNumBuckets; ++b) {
+    const uint64_t n = h.buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "[" << Log2Histogram::BucketUpperBound(b) << "," << n << "]";
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::counter(std::string_view name) const {
+  return Lookup(counters, name);
+}
+
+int64_t MetricsSnapshot::max_value(std::string_view name) const {
+  return Lookup(maxes, name);
+}
+
+const Log2Histogram* MetricsSnapshot::histogram(std::string_view name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot DeltaSince(const MetricsSnapshot& before,
+                           const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    delta.counters[name] = value - before.counter(name);
+  }
+  delta.maxes = after.maxes;
+  for (const auto& [name, hist] : after.histograms) {
+    Log2Histogram d = hist;
+    if (const Log2Histogram* b = before.histogram(name)) {
+      for (size_t i = 0; i < d.buckets.size(); ++i) {
+        d.buckets[i] -= b->buckets[i];
+      }
+      d.count -= b->count;
+      d.sum -= b->sum;
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, int64_t delta) {
+  PPR_DCHECK(delta >= 0);
+  auto it = data_.counters.find(name);
+  if (it == data_.counters.end()) {
+    data_.counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::RaiseMax(std::string_view name, int64_t value) {
+  auto it = data_.maxes.find(name);
+  if (it == data_.maxes.end()) {
+    data_.maxes.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::RecordHistogram(std::string_view name, uint64_t value) {
+  auto it = data_.histograms.find(name);
+  if (it == data_.histograms.end()) {
+    it = data_.histograms.emplace(std::string(name), Log2Histogram{}).first;
+  }
+  it->second.Record(value);
+}
+
+int64_t MetricsRegistry::counter(std::string_view name) const {
+  return data_.counter(name);
+}
+
+int64_t MetricsRegistry::max_value(std::string_view name) const {
+  return data_.max_value(name);
+}
+
+const Log2Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  return data_.histogram(name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const { return data_; }
+
+void MetricsRegistry::Clear() { data_ = MetricsSnapshot{}; }
+
+std::string MetricsRegistry::ToJsonLines() const {
+  return MetricsToJsonLines(data_);
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsToJsonLines(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+        << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.maxes) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"max\",\"value\":"
+        << value << "}\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    AppendHistogramJson(out, name, hist);
+  }
+  return out.str();
+}
+
+}  // namespace ppr

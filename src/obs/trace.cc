@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+struct GlobalTraceState {
+  bool enabled = false;
+  std::string path;
+  TraceSink sink;
+};
+
+GlobalTraceState& TraceState() {
+  static GlobalTraceState state = [] {
+    GlobalTraceState s;
+    const char* env = std::getenv("PPR_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      s.enabled = true;
+      s.path = env;
+    }
+    return s;
+  }();
+  return state;
+}
+
+}  // namespace
+
+const char* TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kScan:
+      return "scan";
+    case TraceOp::kJoin:
+      return "join";
+    case TraceOp::kProject:
+      return "project";
+    case TraceOp::kSemiJoin:
+      return "semijoin";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  buffer_.reserve(std::min(capacity_, size_t{1024}));
+}
+
+void TraceSink::Record(const TraceSpan& span) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(span);
+  } else {
+    buffer_[total_ % capacity_] = span;
+  }
+  ++total_;
+}
+
+std::vector<TraceSpan> TraceSink::Snapshot() const {
+  return SnapshotSince(0);
+}
+
+std::vector<TraceSpan> TraceSink::SnapshotSince(uint64_t seq) const {
+  // Buffered spans carry sequence numbers [total_ - size, total_); when
+  // the buffer wrapped, slot total_ % capacity_ holds the oldest.
+  const uint64_t oldest = total_ - buffer_.size();
+  const uint64_t from = std::max(seq, oldest);
+  std::vector<TraceSpan> out;
+  if (from >= total_) return out;
+  out.reserve(static_cast<size_t>(total_ - from));
+  for (uint64_t s = from; s < total_; ++s) {
+    out.push_back(buffer_[s % capacity_]);
+  }
+  return out;
+}
+
+void TraceSink::Clear() {
+  buffer_.clear();
+  total_ = 0;
+}
+
+void EnableTracing(const std::string& path) {
+  PPR_CHECK(!path.empty());
+  GlobalTraceState& state = TraceState();
+  state.enabled = true;
+  state.path = path;
+}
+
+void DisableTracing() {
+  GlobalTraceState& state = TraceState();
+  state.enabled = false;
+  state.path.clear();
+  state.sink.Clear();
+}
+
+bool TracingEnabled() { return TraceState().enabled; }
+
+const std::string& TracePath() { return TraceState().path; }
+
+TraceSink* GlobalTraceSinkIfEnabled() {
+  GlobalTraceState& state = TraceState();
+  return state.enabled ? &state.sink : nullptr;
+}
+
+}  // namespace ppr

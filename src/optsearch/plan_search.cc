@@ -29,7 +29,8 @@ PlanSearchResult ExhaustiveDpSearch(const CostModel& model) {
     }
   }
 
-  WallTimer timer;
+  PlanSearchResult result;
+  ScopedTimer timer(&result.seconds);
   const size_t states = size_t{1} << m;
   std::vector<double> cost(states, 0.0);
   std::vector<double> card(states, 0.0);
@@ -71,7 +72,6 @@ PlanSearchResult ExhaustiveDpSearch(const CostModel& model) {
     last[s] = static_cast<int8_t>(best_a);
   }
 
-  PlanSearchResult result;
   result.estimated_cost = cost[states - 1];
   result.plans_evaluated = evaluated;
   result.order.resize(static_cast<size_t>(m));
@@ -81,7 +81,7 @@ PlanSearchResult ExhaustiveDpSearch(const CostModel& model) {
     result.order[static_cast<size_t>(pos)] = a;
     s &= ~(size_t{1} << a);
   }
-  result.seconds = timer.ElapsedSeconds();
+  timer.Stop();  // stop before return: NRVO may alias result with the callee's
   return result;
 }
 
@@ -157,8 +157,8 @@ std::vector<int> EdgeRecombination(const std::vector<int>& p1,
 PlanSearchResult GeqoSearch(const CostModel& model, Rng& rng) {
   const int m = model.num_atoms();
   PPR_CHECK(m >= 1);
-  WallTimer timer;
   PlanSearchResult result;
+  ScopedTimer timer(&result.seconds);
 
   const int pool_size = static_cast<int>(
       std::clamp(std::pow(2.0, static_cast<double>(m) / 2.0), 16.0, 1024.0));
@@ -209,15 +209,15 @@ PlanSearchResult GeqoSearch(const CostModel& model, Rng& rng) {
 
   result.order = pool.front().order;
   result.estimated_cost = pool.front().cost;
-  result.seconds = timer.ElapsedSeconds();
+  timer.Stop();
   return result;
 }
 
 PlanSearchResult SimulatedAnnealingSearch(const CostModel& model, Rng& rng) {
   const int m = model.num_atoms();
   PPR_CHECK(m >= 1);
-  WallTimer timer;
   PlanSearchResult result;
+  ScopedTimer timer(&result.seconds);
 
   std::vector<int> current(static_cast<size_t>(m));
   for (int i = 0; i < m; ++i) current[static_cast<size_t>(i)] = i;
@@ -258,7 +258,7 @@ PlanSearchResult SimulatedAnnealingSearch(const CostModel& model, Rng& rng) {
 
   result.order = std::move(best);
   result.estimated_cost = best_cost;
-  result.seconds = timer.ElapsedSeconds();
+  timer.Stop();
   return result;
 }
 
@@ -271,15 +271,15 @@ PlanSearchResult CostBasedPlanSearch(const CostModel& model, Rng& rng,
 }
 
 PlanSearchResult StraightforwardPlanning(const CostModel& model) {
-  WallTimer timer;
   PlanSearchResult result;
+  ScopedTimer timer(&result.seconds);
   result.order.resize(static_cast<size_t>(model.num_atoms()));
   for (int i = 0; i < model.num_atoms(); ++i) {
     result.order[static_cast<size_t>(i)] = i;
   }
   result.estimated_cost = model.LeftDeepCost(result.order);
   result.plans_evaluated = 1;
-  result.seconds = timer.ElapsedSeconds();
+  timer.Stop();
   return result;
 }
 

@@ -1,0 +1,31 @@
+#include "relational/exec_context.h"
+
+#include "obs/metrics.h"
+
+namespace ppr {
+
+void ExecStats::PublishTo(MetricsRegistry* registry) const {
+  registry->AddCounter("exec.runs", 1);
+  registry->AddCounter("exec.tuples_produced", tuples_produced);
+  registry->AddCounter("exec.num_joins", num_joins);
+  registry->AddCounter("exec.num_projections", num_projections);
+  registry->AddCounter("exec.num_semijoins", num_semijoins);
+  registry->RaiseMax("exec.max_intermediate_arity", max_intermediate_arity);
+  registry->RaiseMax("exec.max_intermediate_rows", max_intermediate_rows);
+  registry->RaiseMax("exec.peak_bytes", peak_bytes);
+}
+
+ExecStats ExecStatsFromDelta(const MetricsSnapshot& delta) {
+  ExecStats stats;
+  stats.tuples_produced = delta.counter("exec.tuples_produced");
+  stats.num_joins = delta.counter("exec.num_joins");
+  stats.num_projections = delta.counter("exec.num_projections");
+  stats.num_semijoins = delta.counter("exec.num_semijoins");
+  stats.max_intermediate_arity =
+      static_cast<int>(delta.max_value("exec.max_intermediate_arity"));
+  stats.max_intermediate_rows = delta.max_value("exec.max_intermediate_rows");
+  stats.peak_bytes = delta.max_value("exec.peak_bytes");
+  return stats;
+}
+
+}  // namespace ppr

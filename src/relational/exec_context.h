@@ -2,16 +2,27 @@
 #define PPR_RELATIONAL_EXEC_CONTEXT_H_
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/arena.h"
 #include "common/types.h"
 
 namespace ppr {
 
+class MetricsRegistry;
+struct MetricsSnapshot;
+class TraceSink;
+
 /// Work counters collected while operators run. These are the
 /// machine-independent proxies for the paper's wall-clock measurements:
 /// on a fixed engine, execution time is driven by tuples produced and by
 /// the size/arity of the largest intermediate result.
+///
+/// ExecStats is the per-run view of the observability layer's metrics
+/// registry (obs/metrics.h): PublishTo() emits every field under the
+/// canonical `exec.*` names, and ExecStatsFromDelta() reconstructs a
+/// stats struct from two registry snapshots, so whole-process accounting
+/// and per-run accounting never drift apart.
 struct ExecStats {
   /// Total tuples materialized by all operators (including duplicates
   /// produced before DISTINCT).
@@ -20,6 +31,9 @@ struct ExecStats {
   Counter num_joins = 0;
   /// Number of projection operators executed.
   Counter num_projections = 0;
+  /// Number of semijoin operators executed (the Yannakakis-style
+  /// reduction pass of exec/semijoin_pass.h runs entirely through these).
+  Counter num_semijoins = 0;
   /// Largest arity of any operator output ("width" actually reached).
   int max_intermediate_arity = 0;
   /// Largest row count of any operator output.
@@ -39,7 +53,19 @@ struct ExecStats {
   void NotePeakBytes(Counter bytes) {
     peak_bytes = std::max(peak_bytes, bytes);
   }
+
+  /// Publishes every field into `registry`: additive fields as
+  /// `exec.tuples_produced` / `exec.num_joins` / `exec.num_projections` /
+  /// `exec.num_semijoins` counters, the maxima as
+  /// `exec.max_intermediate_arity` / `exec.max_intermediate_rows` /
+  /// `exec.peak_bytes` max gauges, plus one `exec.runs` tick.
+  void PublishTo(MetricsRegistry* registry) const;
 };
+
+/// Inverse of ExecStats::PublishTo over a snapshot delta: additive fields
+/// come from the counter deltas, maxima from the (high-water) gauges of
+/// the `after` snapshot the delta was taken against.
+ExecStats ExecStatsFromDelta(const MetricsSnapshot& delta);
 
 /// Execution context shared by the operators of one query run: statistics,
 /// a tuple budget that bounds total work, and the scratch arena operators
@@ -75,9 +101,12 @@ class ExecContext {
 
   /// Upper bound on rows any single operator can still emit before the
   /// budget latches (operators emit one row past the budget, then stop).
-  /// Used to cap output Reserve() calls; kCounterMax when unbudgeted.
+  /// Used to cap output Reserve() calls; kCounterMax when unbudgeted and
+  /// 0 once the budget is exhausted (an exhausted run emits nothing
+  /// more, so reservations must not be padded past zero).
   Counter budget_headroom() const {
     if (tuple_budget_ == kCounterMax) return kCounterMax;
+    if (exhausted_) return 0;
     return std::max<Counter>(0, tuple_budget_ - stats_.tuples_produced) + 1;
   }
 
@@ -89,12 +118,25 @@ class ExecContext {
     return !exhausted_;
   }
 
+  /// Span sink the operator kernels record into; nullptr (the default)
+  /// disables tracing at the cost of one branch per operator.
+  TraceSink* tracer() const { return tracer_; }
+  void set_tracer(TraceSink* tracer) { tracer_ = tracer; }
+
+  /// Pre-order plan-node id attributed to spans recorded by the next
+  /// kernel invocations; -1 for operators outside any plan (one-shot
+  /// kernel calls). The executor sets it before each node's operators.
+  int32_t trace_node() const { return trace_node_; }
+  void set_trace_node(int32_t node_id) { trace_node_ = node_id; }
+
  private:
   ExecStats stats_;
   Counter tuple_budget_;
   bool exhausted_ = false;
   ExecArena owned_arena_;
   ExecArena* arena_;
+  TraceSink* tracer_ = nullptr;
+  int32_t trace_node_ = -1;
 };
 
 }  // namespace ppr

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "relational/flat_hash.h"
 
 namespace ppr {
@@ -107,6 +108,12 @@ ScanSpec PlanScan(int stored_arity, const std::vector<AttrId>& args) {
 Relation HashJoin(const Relation& left, const Relation& right,
                   const JoinSpec& spec, ExecContext& ctx) {
   ctx.stats().num_joins++;
+  SpanRecorder rec(ctx.tracer(), TraceOp::kJoin, ctx.trace_node());
+  if (rec.enabled()) {
+    rec.span().rows_in = left.size() + right.size();
+    rec.span().arity_in = std::max(left.arity(), right.arity());
+    rec.span().arity_out = static_cast<int32_t>(spec.out_schema.arity());
+  }
 
   Relation out{spec.out_schema};
   if (left.empty() || right.empty()) {
@@ -154,6 +161,7 @@ Relation HashJoin(const Relation& left, const Relation& right,
     exact_rows += static_cast<int64_t>(index.Probe(key).size());
   }
 
+  int64_t emit_probes = 0;
   if (out_arity == 0) {
     // Nullary output (both inputs nullary): at most the one empty tuple.
     for (int64_t p = 0; p < probe_rows && !ctx.exhausted(); ++p) {
@@ -172,7 +180,8 @@ Relation HashJoin(const Relation& left, const Relation& right,
     }
     Value* cursor = out.GrowRows(reserve_rows);
     int64_t emitted = 0;
-    for (int64_t p = 0; p < probe_rows && !ctx.exhausted(); ++p) {
+    int64_t p = 0;
+    for (; p < probe_rows && !ctx.exhausted(); ++p) {
       const Value* probe_row = probe_base + p * probe_arity;
       for (int c = 0; c < key_width; ++c) key[c] = probe_row[probe_key[c]];
       const std::span<const int64_t> matches = index.Probe(key);
@@ -203,10 +212,18 @@ Relation HashJoin(const Relation& left, const Relation& right,
       }
     }
     out.TruncateRows(emitted);
+    emit_probes = p;
   }
 
-  ctx.stats().NotePeakBytes(
-      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  const Counter footprint =
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size();
+  if (rec.enabled()) {
+    rec.span().rows_out = out.size();
+    rec.span().bytes = footprint;
+    rec.span().ht_build_rows = build.size();
+    rec.span().ht_probe_ops = probe_rows + emit_probes;
+  }
+  ctx.stats().NotePeakBytes(footprint);
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }
@@ -214,6 +231,12 @@ Relation HashJoin(const Relation& left, const Relation& right,
 Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
                         ExecContext& ctx) {
   ctx.stats().num_projections++;
+  SpanRecorder rec(ctx.tracer(), TraceOp::kProject, ctx.trace_node());
+  if (rec.enabled()) {
+    rec.span().rows_in = input.size();
+    rec.span().arity_in = input.arity();
+    rec.span().arity_out = spec.out_schema.arity();
+  }
 
   Relation out{spec.out_schema};
   if (spec.cols.empty()) {
@@ -222,6 +245,7 @@ Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
       out.AddTuple(std::span<const Value>{});
       ctx.ChargeTuples(1);
     }
+    if (rec.enabled()) rec.span().rows_out = out.size();
     ctx.stats().NoteIntermediate(0, out.size());
     return out;
   }
@@ -244,7 +268,8 @@ Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
   const int* cols = spec.cols.data();
   Value* key = ctx.arena().AllocSpan<Value>(key_width).data();
 
-  for (int64_t i = 0; i < in_rows && !ctx.exhausted(); ++i) {
+  int64_t i = 0;
+  for (; i < in_rows && !ctx.exhausted(); ++i) {
     const Value* row = base + i * in_arity;
     for (int c = 0; c < key_width; ++c) key[c] = row[cols[c]];
     bool inserted;
@@ -255,14 +280,29 @@ Relation ProjectColumns(const Relation& input, const ProjectSpec& spec,
     }
   }
 
-  ctx.stats().NotePeakBytes(
-      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  const Counter footprint =
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size();
+  if (rec.enabled()) {
+    rec.span().rows_out = out.size();
+    rec.span().bytes = footprint;
+    rec.span().ht_build_rows = out.size();  // distinct keys inserted
+    rec.span().ht_probe_ops = i;            // InsertOrFind per input row
+  }
+  ctx.stats().NotePeakBytes(footprint);
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }
 
 Relation SemiJoinFiltered(const Relation& left, const Relation& right,
                           const SemiJoinSpec& spec, ExecContext& ctx) {
+  ctx.stats().num_semijoins++;
+  SpanRecorder rec(ctx.tracer(), TraceOp::kSemiJoin, ctx.trace_node());
+  if (rec.enabled()) {
+    rec.span().rows_in = left.size() + right.size();
+    rec.span().arity_in = std::max(left.arity(), right.arity());
+    rec.span().arity_out = left.arity();
+  }
+
   Relation out{left.schema()};
   if (left.empty()) return out;
   const bool no_common = spec.left_key_cols.empty();
@@ -292,7 +332,8 @@ Relation SemiJoinFiltered(const Relation& left, const Relation& right,
   const int64_t left_rows = left.size();
   const Value* left_base = left.data();
   const int* left_key = spec.left_key_cols.data();
-  for (int64_t i = 0; i < left_rows && !ctx.exhausted(); ++i) {
+  int64_t i = 0;
+  for (; i < left_rows && !ctx.exhausted(); ++i) {
     const Value* row = left_base + i * left_arity;
     bool match = no_common;
     if (!match) {
@@ -305,14 +346,28 @@ Relation SemiJoinFiltered(const Relation& left, const Relation& right,
     }
   }
 
-  ctx.stats().NotePeakBytes(
-      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  const Counter footprint =
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size();
+  if (rec.enabled()) {
+    rec.span().rows_out = out.size();
+    rec.span().bytes = footprint;
+    rec.span().ht_build_rows = right_rows;
+    rec.span().ht_probe_ops = no_common ? 0 : i;
+  }
+  ctx.stats().NotePeakBytes(footprint);
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }
 
 Relation ScanAtom(const Relation& stored, const ScanSpec& spec,
                   ExecContext& ctx) {
+  SpanRecorder rec(ctx.tracer(), TraceOp::kScan, ctx.trace_node());
+  if (rec.enabled()) {
+    rec.span().rows_in = stored.size();
+    rec.span().arity_in = stored.arity();
+    rec.span().arity_out = spec.out_schema.arity();
+  }
+
   Relation out{spec.out_schema};
   if (stored.empty()) {
     // Skip the tuple-assembly scratch: peak_bytes must report 0 when a
@@ -346,8 +401,13 @@ Relation ScanAtom(const Relation& stored, const ScanSpec& spec,
     if (!ctx.ChargeTuples(1)) break;
   }
 
-  ctx.stats().NotePeakBytes(
-      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  const Counter footprint =
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size();
+  if (rec.enabled()) {
+    rec.span().rows_out = out.size();
+    rec.span().bytes = footprint;
+  }
+  ctx.stats().NotePeakBytes(footprint);
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }

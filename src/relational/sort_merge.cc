@@ -6,6 +6,7 @@
 
 #include "common/arena.h"
 #include "common/check.h"
+#include "obs/trace.h"
 #include "relational/ops.h"
 
 namespace ppr {
@@ -45,6 +46,11 @@ int CompareKeys(const Relation& left, int64_t li, const std::vector<int>& lc,
 Relation SortMergeJoin(const Relation& left, const Relation& right,
                        ExecContext& ctx) {
   ctx.stats().num_joins++;
+  SpanRecorder rec(ctx.tracer(), TraceOp::kJoin, ctx.trace_node());
+  if (rec.enabled()) {
+    rec.span().rows_in = left.size() + right.size();
+    rec.span().arity_in = std::max(left.arity(), right.arity());
+  }
 
   const JoinSpec spec = PlanJoin(left.schema(), right.schema());
   const std::vector<int>& left_cols = spec.left_key_cols;
@@ -115,8 +121,14 @@ Relation SortMergeJoin(const Relation& left, const Relation& right,
     }
   }
 
-  ctx.stats().NotePeakBytes(
-      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size());
+  const Counter footprint =
+      static_cast<Counter>(scope.bytes_allocated()) + out.byte_size();
+  if (rec.enabled()) {
+    rec.span().arity_out = out.arity();
+    rec.span().rows_out = out.size();
+    rec.span().bytes = footprint;
+  }
+  ctx.stats().NotePeakBytes(footprint);
   ctx.stats().NoteIntermediate(out.arity(), out.size());
   return out;
 }

@@ -135,5 +135,29 @@ TEST(TimerTest, ElapsedIsMonotonic) {
   EXPECT_GE(a, 0.0);
 }
 
+TEST(TimerTest, ScopedTimerAccumulatesIntoSink) {
+  double total = 0.0;
+  { ScopedTimer timer(&total); }
+  EXPECT_GE(total, 0.0);
+  const double first = total;
+  { ScopedTimer timer(&total); }  // accumulates, does not overwrite
+  EXPECT_GE(total, first);
+}
+
+TEST(TimerTest, ScopedTimerStopIsIdempotent) {
+  double total = 0.0;
+  ScopedTimer timer(&total);
+  const double recorded = timer.Stop();
+  EXPECT_GE(recorded, 0.0);
+  EXPECT_DOUBLE_EQ(total, recorded);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);  // disarmed: second stop is a no-op
+  EXPECT_DOUBLE_EQ(total, recorded);    // destructor will not add either
+}
+
+TEST(TimerTest, ScopedTimerNullSinkIsDisarmed) {
+  ScopedTimer timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);
+}
+
 }  // namespace
 }  // namespace ppr

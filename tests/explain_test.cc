@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/rng.h"
+#include "analysis/verifier.h"
 #include "benchlib/harness.h"
 #include "core/strategies.h"
 #include "encode/kcolor.h"
+#include "encode/sat.h"
 #include "exec/executor.h"
 #include "exec/explain.h"
+#include "exec/verify_hook.h"
 #include "graph/generators.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace ppr {
@@ -113,6 +120,117 @@ TEST(ExplainTest, ActualsIdenticalAcrossStrategiesAtRoot) {
       EXPECT_EQ(r.nodes.front().actual_rows, expected);
     }
   }
+}
+
+TEST(ExplainTest, SummaryLineReportsSemijoins) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExplainResult r = ExplainPlan(q, EarlyProjectionPlan(q), db, 3.0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.ToString().find("num_semijoins="), std::string::npos);
+}
+
+// RAII guard: installs the analysis verifier for one test and always
+// restores the disabled default so tests cannot leak global state.
+class ScopedVerifier {
+ public:
+  ScopedVerifier() { InstallPlanVerifier(/*enable=*/true); }
+  ~ScopedVerifier() { EnablePlanVerification(false); }
+};
+
+TEST(ExplainTest, VerifierVerdictLineRendered) {
+  ScopedVerifier verifier;
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExplainResult r = ExplainPlan(q, BucketEliminationPlanMcs(q, nullptr), db,
+                                3.0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.verifier_verdict, "OK");
+  EXPECT_NE(r.ToString().find("-- verifier: OK"), std::string::npos);
+}
+
+TEST(ExplainTest, AnalyzeAnnotatesEveryNode) {
+  ScopedVerifier verifier;
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  ExplainResult r =
+      ExplainPlan(q, BucketEliminationPlanMcs(q, nullptr), db, 3.0,
+                  /*tuple_budget=*/kCounterMax, /*analyze=*/true);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.analyzed);
+  const std::string text = r.ToString();
+  EXPECT_NE(text.find("| actual arity<="), std::string::npos);
+  EXPECT_NE(text.find("predicted arity<="), std::string::npos);
+  EXPECT_EQ(text.find("!! arity bound violated"), std::string::npos);
+  // Every node got span actuals and at least the leaves got predictions.
+  bool any_prediction = false;
+  for (const NodeProfile& p : r.nodes) {
+    EXPECT_FALSE(p.arity_violation);
+    if (p.predicted_arity_bound >= 0) {
+      any_prediction = true;
+      EXPECT_LE(p.actual_max_arity, p.predicted_arity_bound);
+    }
+  }
+  EXPECT_TRUE(any_prediction);
+}
+
+TEST(ExplainTest, NonAnalyzeOutputIdenticalUnderGlobalTracing) {
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = EarlyProjectionPlan(q);
+  ASSERT_FALSE(TracingEnabled());
+  const std::string off = ExplainPlan(q, plan, db, 3.0).ToString();
+
+  const std::string path =
+      ::testing::TempDir() + "ppr_explain_trace_gate.json";
+  EnableTracing(path);
+  const std::string on = ExplainPlan(q, plan, db, 3.0).ToString();
+  DisableTracing();
+  std::remove(path.c_str());
+  std::remove((path + ".metrics.jsonl").c_str());
+  EXPECT_EQ(off, on);  // byte-identical: analyze=false ignores PPR_TRACE
+}
+
+// The acceptance check: on the paper's generator families, the measured
+// per-node arity never beats the width analyzer's static bound, for all
+// five strategies.
+void ExpectActualsWithinBounds(const ConjunctiveQuery& q, const Database& db,
+                               double domain) {
+  for (StrategyKind kind : AllStrategies()) {
+    Plan plan = BuildStrategyPlan(kind, q, 1);
+    ExplainResult r = ExplainPlan(q, plan, db, domain,
+                                  /*tuple_budget=*/kCounterMax,
+                                  /*analyze=*/true);
+    ASSERT_TRUE(r.status.ok())
+        << StrategyName(kind) << ": " << r.status.ToString();
+    ASSERT_TRUE(r.analyzed);
+    for (size_t i = 0; i < r.nodes.size(); ++i) {
+      const NodeProfile& p = r.nodes[i];
+      EXPECT_FALSE(p.arity_violation) << StrategyName(kind) << " node " << i;
+      if (p.predicted_arity_bound >= 0) {
+        EXPECT_LE(p.actual_max_arity, p.predicted_arity_bound)
+            << StrategyName(kind) << " node " << i;
+      }
+    }
+  }
+}
+
+TEST(ExplainTest, AnalyzeActualArityWithinPredictedBoundOnColoring) {
+  ScopedVerifier verifier;
+  Database db = ThreeColorDb();
+  ExpectActualsWithinBounds(KColorQuery(AugmentedCircularLadder(4)), db, 3.0);
+  Rng rng(11);
+  ExpectActualsWithinBounds(KColorQuery(ConnectedRandomGraph(8, 14, rng)), db,
+                            3.0);
+}
+
+TEST(ExplainTest, AnalyzeActualArityWithinPredictedBoundOnSat) {
+  ScopedVerifier verifier;
+  Database db;
+  AddSatRelations(3, &db);
+  Rng rng(7);
+  ExpectActualsWithinBounds(SatQuery(RandomKSat(8, 12, 3, rng)), db, 2.0);
+  ExpectActualsWithinBounds(SatQuery(RandomKSat(10, 20, 3, rng)), db, 2.0);
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "encode/kcolor.h"
+#include "exec/executor.h"
+#include "exec/physical_plan.h"
+#include "core/strategies.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "relational/exec_context.h"
+
+namespace ppr {
+namespace {
+
+TraceSpan MakeSpan(int64_t rows_out) {
+  TraceSpan span;
+  span.op = TraceOp::kJoin;
+  span.node_id = 7;
+  span.rows_out = rows_out;
+  return span;
+}
+
+TEST(TraceSinkTest, RecordsAndSnapshotsInOrder) {
+  TraceSink sink(16);
+  for (int64_t i = 0; i < 5; ++i) sink.Record(MakeSpan(i));
+  EXPECT_EQ(sink.total_recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const std::vector<TraceSpan> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(spans[static_cast<size_t>(i)].rows_out, i);
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestAndCountsDropped) {
+  TraceSink sink(4);
+  for (int64_t i = 0; i < 10; ++i) sink.Record(MakeSpan(i));
+  EXPECT_EQ(sink.total_recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const std::vector<TraceSpan> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: the surviving spans are 6, 7, 8, 9.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].rows_out, static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(TraceSinkTest, SnapshotSinceIsolatesOneRun) {
+  TraceSink sink(8);
+  for (int64_t i = 0; i < 3; ++i) sink.Record(MakeSpan(i));
+  const uint64_t mark = sink.total_recorded();
+  for (int64_t i = 100; i < 102; ++i) sink.Record(MakeSpan(i));
+  const std::vector<TraceSpan> spans = sink.SnapshotSince(mark);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].rows_out, 100);
+  EXPECT_EQ(spans[1].rows_out, 101);
+  // A mark older than the oldest buffered span clamps, never crashes.
+  EXPECT_EQ(sink.SnapshotSince(0).size(), 5u);
+  // A mark at the end returns nothing.
+  EXPECT_TRUE(sink.SnapshotSince(sink.total_recorded()).empty());
+}
+
+TEST(TraceSinkTest, ClearResetsSequenceNumbering) {
+  TraceSink sink(4);
+  for (int64_t i = 0; i < 7; ++i) sink.Record(MakeSpan(i));
+  sink.Clear();
+  EXPECT_EQ(sink.total_recorded(), 0u);
+  EXPECT_TRUE(sink.Snapshot().empty());
+  // Slots realign after the reset: recording past capacity again keeps
+  // oldest-first order correct.
+  for (int64_t i = 0; i < 6; ++i) sink.Record(MakeSpan(i));
+  const std::vector<TraceSpan> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].rows_out, static_cast<int64_t>(2 + i));
+  }
+}
+
+TEST(SpanRecorderTest, NullSinkIsDisabledAndRecordsNothing) {
+  SpanRecorder rec(nullptr, TraceOp::kScan, 3);
+  EXPECT_FALSE(rec.enabled());
+}
+
+TEST(SpanRecorderTest, RecordsSpanWithFilledFieldsOnDestruction) {
+  TraceSink sink(8);
+  {
+    SpanRecorder rec(&sink, TraceOp::kProject, 2);
+    ASSERT_TRUE(rec.enabled());
+    rec.span().rows_in = 10;
+    rec.span().rows_out = 4;
+    rec.span().arity_out = 3;
+  }
+  const std::vector<TraceSpan> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].op, TraceOp::kProject);
+  EXPECT_EQ(spans[0].node_id, 2);
+  EXPECT_EQ(spans[0].rows_in, 10);
+  EXPECT_EQ(spans[0].rows_out, 4);
+  EXPECT_EQ(spans[0].arity_out, 3);
+  EXPECT_GE(spans[0].duration_ns, 0);
+  EXPECT_GE(spans[0].start_ns, 0);
+}
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Log2Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Log2Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Log2Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Log2Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(Log2Histogram::BucketOf(UINT64_MAX), 64);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(Log2HistogramTest, RecordAccumulates) {
+  Log2Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(100);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 110u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 27.5);
+  EXPECT_EQ(h.buckets[0], 1u);                          // the zero
+  EXPECT_EQ(h.buckets[static_cast<size_t>(Log2Histogram::BucketOf(5))], 2u);
+  EXPECT_EQ(h.buckets[static_cast<size_t>(Log2Histogram::BucketOf(100))], 1u);
+}
+
+TEST(MetricsRegistryTest, CountersMaxesHistograms) {
+  MetricsRegistry reg;
+  reg.AddCounter("c", 3);
+  reg.AddCounter("c", 4);
+  reg.RaiseMax("m", 10);
+  reg.RaiseMax("m", 7);  // lower: no effect
+  reg.RecordHistogram("h", 16);
+  EXPECT_EQ(reg.counter("c"), 7);
+  EXPECT_EQ(reg.max_value("m"), 10);
+  ASSERT_NE(reg.histogram("h"), nullptr);
+  EXPECT_EQ(reg.histogram("h")->count, 1u);
+  EXPECT_EQ(reg.counter("missing"), 0);
+  EXPECT_EQ(reg.histogram("missing"), nullptr);
+  reg.Clear();
+  EXPECT_EQ(reg.counter("c"), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotDeltaSemantics) {
+  MetricsRegistry reg;
+  reg.AddCounter("runs", 2);
+  reg.RecordHistogram("h", 8);
+  const MetricsSnapshot before = reg.Snapshot();
+  reg.AddCounter("runs", 5);
+  reg.RaiseMax("peak", 42);
+  reg.RecordHistogram("h", 9);
+  const MetricsSnapshot delta = DeltaSince(before, reg.Snapshot());
+  EXPECT_EQ(delta.counter("runs"), 5);
+  EXPECT_EQ(delta.max_value("peak"), 42);  // maxes keep `after`
+  ASSERT_NE(delta.histogram("h"), nullptr);
+  EXPECT_EQ(delta.histogram("h")->count, 1u);
+}
+
+TEST(MetricsRegistryTest, JsonLinesContainEveryMetric) {
+  MetricsRegistry reg;
+  reg.AddCounter("exec.runs", 1);
+  reg.RaiseMax("exec.peak_bytes", 512);
+  reg.RecordHistogram("op.ns", 1000);
+  const std::string json = reg.ToJsonLines();
+  EXPECT_NE(json.find("\"exec.runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec.peak_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"op.ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
+  EXPECT_NE(json.find("\"log2_histogram\""), std::string::npos);
+}
+
+TEST(ExecStatsViewTest, PublishAndReconstructRoundTrip) {
+  ExecStats stats;
+  stats.tuples_produced = 100;
+  stats.num_joins = 4;
+  stats.num_projections = 3;
+  stats.num_semijoins = 2;
+  stats.max_intermediate_arity = 5;
+  stats.max_intermediate_rows = 60;
+  stats.peak_bytes = 4096;
+
+  MetricsRegistry reg;
+  stats.PublishTo(&reg);
+  EXPECT_EQ(reg.counter("exec.runs"), 1);
+  const ExecStats back = ExecStatsFromDelta(reg.Snapshot());
+  EXPECT_EQ(back.tuples_produced, stats.tuples_produced);
+  EXPECT_EQ(back.num_joins, stats.num_joins);
+  EXPECT_EQ(back.num_projections, stats.num_projections);
+  EXPECT_EQ(back.num_semijoins, stats.num_semijoins);
+  EXPECT_EQ(back.max_intermediate_arity, stats.max_intermediate_arity);
+  EXPECT_EQ(back.max_intermediate_rows, stats.max_intermediate_rows);
+  EXPECT_EQ(back.peak_bytes, stats.peak_bytes);
+}
+
+TEST(ExportersTest, ChromeTraceRendersSpanArgs) {
+  TraceSpan span = MakeSpan(12);
+  span.ht_build_rows = 6;
+  span.ht_probe_ops = 9;
+  const std::string json = SpansToChromeTrace({span});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"join\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rows_out\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"ht_build_rows\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"ht_probe_ops\":9"), std::string::npos);
+}
+
+TEST(ExportersTest, PublishSpanMetricsFillsHistograms) {
+  TraceSpan span = MakeSpan(12);
+  span.duration_ns = 500;
+  span.bytes = 256;
+  MetricsRegistry reg;
+  PublishSpanMetrics({span}, &reg);
+  ASSERT_NE(reg.histogram("op.rows_out"), nullptr);
+  EXPECT_EQ(reg.histogram("op.rows_out")->max, 12u);
+  ASSERT_NE(reg.histogram("op.ns"), nullptr);
+  ASSERT_NE(reg.histogram("op.bytes"), nullptr);
+  ASSERT_NE(reg.histogram("op.join.ns"), nullptr);
+  EXPECT_EQ(reg.histogram("op.join.ns")->count, 1u);
+}
+
+TEST(TracingGateTest, DisabledByDefaultAndTogglable) {
+  // The test environment must not set PPR_TRACE (the build never does).
+  ASSERT_FALSE(TracingEnabled());
+  EXPECT_EQ(GlobalTraceSinkIfEnabled(), nullptr);
+  EXPECT_TRUE(FlushTraceArtifacts().ok());  // no-op when disabled
+
+  const std::string path = ::testing::TempDir() + "ppr_obs_test_trace.json";
+  EnableTracing(path);
+  EXPECT_TRUE(TracingEnabled());
+  EXPECT_EQ(TracePath(), path);
+  ASSERT_NE(GlobalTraceSinkIfEnabled(), nullptr);
+  DisableTracing();
+  EXPECT_FALSE(TracingEnabled());
+  EXPECT_EQ(GlobalTraceSinkIfEnabled(), nullptr);
+}
+
+class TracedExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { AddColoringRelations(3, &db_); }
+  Database db_;
+};
+
+TEST_F(TracedExecutionTest, ExplicitSinkCollectsSpansWithNodeIds) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = BucketEliminationPlanMcs(q, nullptr);
+  Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db_);
+  ASSERT_TRUE(compiled.ok());
+
+  GlobalMetrics().Clear();
+  const MetricsSnapshot before = GlobalMetrics().Snapshot();
+  TraceSink sink;
+  ExecutionResult traced = compiled->Execute(kCounterMax, &sink);
+  ASSERT_TRUE(traced.status.ok());
+  const std::vector<TraceSpan> spans = sink.Snapshot();
+  ASSERT_FALSE(spans.empty());
+  for (const TraceSpan& span : spans) {
+    EXPECT_GE(span.node_id, 0);
+    EXPECT_LT(span.node_id, plan.NumNodes());
+    EXPECT_GE(span.duration_ns, 0);
+    EXPECT_LE(span.arity_out, traced.stats.max_intermediate_arity);
+  }
+  // One scan per atom reaches the sink.
+  int scans = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.op == TraceOp::kScan) ++scans;
+  }
+  EXPECT_EQ(scans, q.num_atoms());
+
+  // The traced run published its stats: the registry delta reconstructs
+  // exactly the run's ExecStats (the "view" contract).
+  const MetricsSnapshot delta =
+      DeltaSince(before, GlobalMetrics().Snapshot());
+  const ExecStats back = ExecStatsFromDelta(delta);
+  EXPECT_EQ(back.tuples_produced, traced.stats.tuples_produced);
+  EXPECT_EQ(back.num_joins, traced.stats.num_joins);
+  EXPECT_EQ(back.max_intermediate_rows, traced.stats.max_intermediate_rows);
+  EXPECT_EQ(delta.counter("exec.runs"), 1);
+  ASSERT_NE(delta.histogram("op.ns"), nullptr);
+  EXPECT_EQ(delta.histogram("op.ns")->count, spans.size());
+}
+
+TEST_F(TracedExecutionTest, UntracedRunMatchesTracedRunExactly) {
+  ConjunctiveQuery q = PentagonQuery();
+  Plan plan = EarlyProjectionPlan(q);
+  Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db_);
+  ASSERT_TRUE(compiled.ok());
+
+  ExecutionResult plain = compiled->Execute();
+  TraceSink sink;
+  ExecutionResult traced = compiled->Execute(kCounterMax, &sink);
+  ASSERT_TRUE(plain.status.ok());
+  ASSERT_TRUE(traced.status.ok());
+  EXPECT_EQ(plain.output.size(), traced.output.size());
+  EXPECT_EQ(plain.stats.tuples_produced, traced.stats.tuples_produced);
+  EXPECT_EQ(plain.stats.num_joins, traced.stats.num_joins);
+  EXPECT_EQ(plain.stats.num_projections, traced.stats.num_projections);
+  EXPECT_EQ(plain.stats.max_intermediate_arity,
+            traced.stats.max_intermediate_arity);
+  EXPECT_EQ(plain.stats.max_intermediate_rows,
+            traced.stats.max_intermediate_rows);
+  EXPECT_EQ(plain.stats.peak_bytes, traced.stats.peak_bytes);
+}
+
+TEST_F(TracedExecutionTest, EnvGatedFlushWritesBothArtifacts) {
+  const std::string path = ::testing::TempDir() + "ppr_obs_test_flush.json";
+  EnableTracing(path);
+  ConjunctiveQuery q = PentagonQuery();
+  ExecutionResult r = ExecutePlan(q, EarlyProjectionPlan(q), db_);
+  DisableTracing();
+  ASSERT_TRUE(r.status.ok());
+
+  // Execute() flushed the artifacts on its way out.
+  std::FILE* trace = std::fopen(path.c_str(), "r");
+  ASSERT_NE(trace, nullptr);
+  std::fclose(trace);
+  const std::string metrics_path = path + ".metrics.jsonl";
+  std::FILE* metrics = std::fopen(metrics_path.c_str(), "r");
+  ASSERT_NE(metrics, nullptr);
+  std::fclose(metrics);
+  std::remove(path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace ppr

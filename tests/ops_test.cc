@@ -192,5 +192,38 @@ TEST(BudgetTest, UnlimitedByDefault) {
   EXPECT_EQ(ctx.stats().tuples_produced, 6);
 }
 
+TEST(BudgetTest, HeadroomUnlimitedWithoutBudget) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.budget_headroom(), kCounterMax);
+}
+
+TEST(BudgetTest, HeadroomShrinksThenLatchesToZero) {
+  ExecContext ctx(/*tuple_budget=*/5);
+  EXPECT_EQ(ctx.budget_headroom(), 6);  // budget + the one-past row
+  EXPECT_TRUE(ctx.ChargeTuples(3));
+  EXPECT_EQ(ctx.budget_headroom(), 3);
+  EXPECT_FALSE(ctx.ChargeTuples(10));  // blows the budget
+  EXPECT_TRUE(ctx.exhausted());
+  // Latched: exhausted contexts report zero headroom even though
+  // tuples_produced overshot the budget (no wrap-around, no padding).
+  EXPECT_EQ(ctx.budget_headroom(), 0);
+  EXPECT_FALSE(ctx.ChargeTuples(1));
+  EXPECT_EQ(ctx.budget_headroom(), 0);
+}
+
+TEST(SemiJoinTest, CountsSemijoinsInStats) {
+  ExecContext ctx;
+  Relation left = R({0, 1}, {{1, 2}, {3, 4}});
+  Relation right = R({1, 2}, {{2, 0}});
+  EXPECT_EQ(ctx.stats().num_semijoins, 0);
+  SemiJoin(left, right, ctx);
+  EXPECT_EQ(ctx.stats().num_semijoins, 1);
+  SemiJoin(left, right, ctx);
+  EXPECT_EQ(ctx.stats().num_semijoins, 2);
+  // Semijoins are counted separately from joins and projections.
+  EXPECT_EQ(ctx.stats().num_joins, 0);
+  EXPECT_EQ(ctx.stats().num_projections, 0);
+}
+
 }  // namespace
 }  // namespace ppr

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/rng.h"
 #include "core/strategies.h"
 #include "encode/kcolor.h"
 #include "exec/executor.h"
 #include "exec/semijoin_pass.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace ppr {
@@ -116,6 +121,39 @@ TEST(SemijoinPassTest, InvalidQueryReportsError) {
   ConjunctiveQuery q({Atom{"missing", {0, 1}}}, {0});
   SemijoinPassResult result = SemijoinReduce(q, db);
   EXPECT_FALSE(result.status.ok());
+}
+
+TEST(SemijoinPassTest, ReportedCountMatchesKernelSpansWhenTraced) {
+  // semijoins_performed is taken from the kernel-side counter, so the
+  // pass-level number, the exec.num_semijoins metric, and the recorded
+  // kSemiJoin spans can never drift apart.
+  Database db = ThreeColorDb();
+  ConjunctiveQuery q = KColorQuery(AugmentedLadder(4));
+
+  const std::string path =
+      ::testing::TempDir() + "ppr_semijoin_trace.json";
+  EnableTracing(path);
+  TraceSink* sink = GlobalTraceSinkIfEnabled();
+  ASSERT_NE(sink, nullptr);
+  const uint64_t mark = sink->total_recorded();
+  const MetricsSnapshot before = GlobalMetrics().Snapshot();
+
+  SemijoinPassResult result = SemijoinReduce(q, db);
+  ASSERT_TRUE(result.status.ok());
+
+  Counter spans = 0;
+  for (const TraceSpan& span : sink->SnapshotSince(mark)) {
+    if (span.op == TraceOp::kSemiJoin) ++spans;
+  }
+  const MetricsSnapshot delta =
+      DeltaSince(before, GlobalMetrics().Snapshot());
+  DisableTracing();
+  std::remove(path.c_str());
+  std::remove((path + ".metrics.jsonl").c_str());
+
+  EXPECT_GT(result.semijoins_performed, 0);
+  EXPECT_EQ(result.semijoins_performed, spans);
+  EXPECT_EQ(delta.counter("exec.num_semijoins"), result.semijoins_performed);
 }
 
 class SemijoinEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
