@@ -1,0 +1,177 @@
+// Thread-scaling harness for the concurrent batch runtime: one batch of
+// generated 3-COLOR instances (num_bases structures x copies_per_base
+// isomorphic copies), executed at each requested worker count with a
+// fresh plan cache, plus an uncached single-thread baseline. Emits a
+// table (throughput, speedup vs 1 thread, cache hit rate) and dumps the
+// global metrics registry — including the runtime.* counters the batch
+// drain publishes — to BENCH_runtime.json.
+//
+// Flags:
+//   --threads=1,2,4,8   worker counts to sweep (default below; PPR_THREADS
+//                       prepends a count when set)
+//   --jobs=200          batch size (bases = jobs / copies, copies = 10)
+//   --vertices=14       vertices per random base graph
+//   --density=1.4       edges per vertex
+//   --budget=2000000    per-job tuple budget
+//   --seed=7
+//   --csv               machine-readable table
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/batch_workload.h"
+#include "benchlib/harness.h"
+#include "common/env.h"
+#include "encode/kcolor.h"
+#include "runtime/batch_executor.h"
+
+namespace {
+
+using namespace ppr;
+
+int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::vector<int> ThreadCounts(int argc, char** argv) {
+  std::vector<int> counts;
+  const std::string prefix = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const char* p = argv[i] + prefix.size();
+      while (*p != '\0') {
+        const int n = std::atoi(p);
+        if (n > 0) counts.push_back(n);
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  if (counts.empty()) {
+    if (ProcessEnv().default_threads > 0) {
+      counts.push_back(ProcessEnv().default_threads);
+    }
+    for (int n : {1, 2, 4, 8}) counts.push_back(n);
+  }
+  return counts;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t jobs_requested = FlagValue(argc, argv, "jobs", 200);
+  const int copies = 10;
+  ColorBatchSpec spec;
+  spec.num_bases = static_cast<int>(
+      std::max<int64_t>(1, jobs_requested / copies));
+  spec.copies_per_base = copies;
+  spec.num_vertices = static_cast<int>(FlagValue(argc, argv, "vertices", 14));
+  spec.density = FlagDouble(argc, argv, "density", 1.4);
+  spec.seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 7));
+  const Counter budget = FlagValue(argc, argv, "budget", 2'000'000);
+
+  Database db;
+  AddColoringRelations(3, &db);
+  std::vector<BatchJob> jobs;
+  for (ConjunctiveQuery& query : IsomorphicColorBatch(spec)) {
+    BatchJob job;
+    job.query = std::move(query);
+    job.strategy = StrategyKind::kBucketElimination;
+    job.seed = spec.seed;
+    job.tuple_budget = budget;
+    jobs.push_back(std::move(job));
+  }
+  std::printf("runtime scaling: %zu jobs (%d structures x %d copies), "
+              "%d vertices, density %.2f\n\n",
+              jobs.size(), spec.num_bases, spec.copies_per_base,
+              spec.num_vertices, spec.density);
+
+  SeriesTable table("threads", {"seconds", "queries/s", "speedup",
+                                "hit_rate", "timeouts"});
+  double base_seconds = 0.0;
+
+  // Uncached single-thread baseline: what the engine did before this
+  // subsystem existed (plan + compile every job from scratch).
+  {
+    BatchOptions options;
+    options.num_threads = 1;
+    options.use_plan_cache = false;
+    BatchExecutor executor(db, options);
+    const BatchResult r = executor.Run(jobs);
+    int64_t timeouts = 0;
+    for (const ExecutionResult& res : r.results) {
+      if (res.status.code() == StatusCode::kResourceExhausted) ++timeouts;
+    }
+    table.AddRow("1 (no cache)",
+                 {FormatSeconds(r.seconds),
+                  FormatSeconds(static_cast<double>(r.num_jobs()) / r.seconds),
+                  "1.000", "-", std::to_string(timeouts)});
+  }
+
+  for (const int threads : ThreadCounts(argc, argv)) {
+    BatchOptions options;
+    options.num_threads = threads;
+    BatchExecutor executor(db, options);  // fresh cache per sweep point
+    const BatchResult r = executor.Run(jobs);
+    if (base_seconds == 0.0) base_seconds = r.seconds;
+    int64_t timeouts = 0;
+    for (const ExecutionResult& res : r.results) {
+      if (res.status.code() == StatusCode::kResourceExhausted) ++timeouts;
+    }
+    const double lookups =
+        static_cast<double>(r.cache.hits + r.cache.misses);
+    char hit_rate[32];
+    std::snprintf(hit_rate, sizeof(hit_rate), "%.3f",
+                  lookups == 0.0 ? 0.0
+                                 : static_cast<double>(r.cache.hits) / lookups);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.3f", base_seconds / r.seconds);
+    table.AddRow(std::to_string(threads),
+                 {FormatSeconds(r.seconds),
+                  FormatSeconds(static_cast<double>(r.num_jobs()) / r.seconds),
+                  speedup, hit_rate, std::to_string(timeouts)});
+  }
+
+  if (HasFlag(argc, argv, "csv")) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+
+  const Status written = WriteBenchMetrics("BENCH_runtime.json");
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_runtime.json: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_runtime.json\n");
+  return 0;
+}

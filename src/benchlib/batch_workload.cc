@@ -1,0 +1,62 @@
+#include "benchlib/batch_workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+
+namespace ppr {
+
+std::vector<ConjunctiveQuery> PermutedCopies(const ConjunctiveQuery& base,
+                                             int count, uint64_t seed) {
+  PPR_CHECK(count >= 0);
+  const std::vector<AttrId> attrs = base.AllAttrs();
+  auto index_of = [&attrs](AttrId a) {
+    return static_cast<size_t>(
+        std::lower_bound(attrs.begin(), attrs.end(), a) - attrs.begin());
+  };
+
+  Rng rng(seed);
+  std::vector<ConjunctiveQuery> copies;
+  copies.reserve(static_cast<size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    // Bijection over the used attribute ids (the id *set* is preserved,
+    // only the assignment of structure to ids changes).
+    std::vector<AttrId> image = attrs;
+    rng.Shuffle(image);
+    std::vector<Atom> atoms = base.atoms();
+    for (Atom& atom : atoms) {
+      for (AttrId& a : atom.args) a = image[index_of(a)];
+    }
+    rng.Shuffle(atoms);
+    std::vector<AttrId> free_vars = base.free_vars();
+    for (AttrId& a : free_vars) a = image[index_of(a)];
+    copies.emplace_back(std::move(atoms), std::move(free_vars));
+  }
+  return copies;
+}
+
+std::vector<ConjunctiveQuery> IsomorphicColorBatch(
+    const ColorBatchSpec& spec) {
+  PPR_CHECK(spec.num_bases >= 1 && spec.copies_per_base >= 1);
+  Rng rng(spec.seed);
+  std::vector<ConjunctiveQuery> batch;
+  batch.reserve(static_cast<size_t>(spec.num_bases) *
+                static_cast<size_t>(spec.copies_per_base));
+  for (int b = 0; b < spec.num_bases; ++b) {
+    const Graph g =
+        RandomGraphWithDensity(spec.num_vertices, spec.density, rng);
+    const ConjunctiveQuery base = KColorQuery(g);
+    for (ConjunctiveQuery& copy :
+         PermutedCopies(base, spec.copies_per_base, rng.NextU64())) {
+      batch.push_back(std::move(copy));
+    }
+  }
+  rng.Shuffle(batch);
+  return batch;
+}
+
+}  // namespace ppr

@@ -1,0 +1,40 @@
+#ifndef PPR_BENCHLIB_BATCH_WORKLOAD_H_
+#define PPR_BENCHLIB_BATCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// Returns `count` isomorphic copies of `base`: each copy applies a
+/// random bijective relabeling over the query's attribute ids and
+/// shuffles the atom list order. Semantically each copy is the same
+/// query up to renaming — the workload shape the plan cache exists for
+/// (thousands of generated instances sharing a handful of structures).
+/// Deterministic in `seed`; copies never include `base` verbatim unless a
+/// sampled permutation happens to be the identity.
+std::vector<ConjunctiveQuery> PermutedCopies(const ConjunctiveQuery& base,
+                                             int count, uint64_t seed);
+
+/// Parameters for a 3-COLOR-style batch: `num_bases` random graphs, each
+/// expanded into `copies_per_base` isomorphic query copies, shuffled
+/// together. With a structural plan cache the expected hit rate is
+/// (jobs - num_bases) / jobs (modulo canonicalizer misses on symmetric
+/// graphs, which random instances essentially never are).
+struct ColorBatchSpec {
+  int num_bases = 20;
+  int copies_per_base = 10;
+  int num_vertices = 16;
+  double density = 1.5;  // edges per vertex, the paper's m/n knob
+  uint64_t seed = 1;
+};
+
+/// Builds the batch described by `spec` (k-COLOR Boolean queries via
+/// KColorQuery over RandomGraphWithDensity instances).
+std::vector<ConjunctiveQuery> IsomorphicColorBatch(const ColorBatchSpec& spec);
+
+}  // namespace ppr
+
+#endif  // PPR_BENCHLIB_BATCH_WORKLOAD_H_

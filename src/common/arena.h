@@ -22,6 +22,11 @@ namespace ppr {
 /// Blocks grow geometrically; all allocations are 16-byte aligned (sizes
 /// are rounded up), which covers every trivially-copyable type the engine
 /// stores. Memory handed out is uninitialized.
+///
+/// An arena is strictly single-owner: no locks, one thread at a time. The
+/// concurrent runtime gives each worker thread its own arena (reused
+/// across that worker's jobs, never shared), which is what keeps operator
+/// scratch allocation lock-free under inter-query parallelism.
 class ExecArena {
  public:
   /// Rewind point: everything allocated after Save() is released by

@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ppr {
+
+const EnvConfig& ProcessEnv() {
+  static const EnvConfig config = [] {
+    EnvConfig c;
+    if (const char* env = std::getenv("PPR_TRACE");
+        env != nullptr && env[0] != '\0') {
+      c.trace_enabled = true;
+      c.trace_path = env;
+    }
+    if (const char* env = std::getenv("PPR_VERIFY_PLANS");
+        env != nullptr && std::strcmp(env, "0") != 0) {
+      c.verify_plans = true;
+    }
+    if (const char* env = std::getenv("PPR_THREADS");
+        env != nullptr && env[0] != '\0') {
+      const int n = std::atoi(env);
+      if (n > 0) c.default_threads = n;
+    }
+    return c;
+  }();
+  return config;
+}
+
+}  // namespace ppr

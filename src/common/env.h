@@ -1,0 +1,39 @@
+#ifndef PPR_COMMON_ENV_H_
+#define PPR_COMMON_ENV_H_
+
+#include <string>
+
+namespace ppr {
+
+/// Process environment knobs, read exactly once. The concurrent runtime
+/// (src/runtime) executes plans on worker threads; std::getenv is not
+/// required to be thread-safe against a concurrently modified
+/// environment, so every PPR_* variable is captured into this struct the
+/// first time ProcessEnv() runs — BatchExecutor forces that from the
+/// submitting thread before any worker starts, and the lazy consumers
+/// (obs/trace.cc, exec/verify_hook.cc) read the struct instead of calling
+/// getenv themselves.
+struct EnvConfig {
+  /// PPR_TRACE: non-empty value enables process-wide tracing with that
+  /// path as the Chrome-trace export target (obs/trace.h).
+  bool trace_enabled = false;
+  std::string trace_path;
+
+  /// PPR_VERIFY_PLANS: set (and not "0") runs the installed static plan
+  /// verifier hooks inside PhysicalPlan::Compile (exec/verify_hook.h).
+  bool verify_plans = false;
+
+  /// PPR_THREADS: default worker count for the batch runtime and the
+  /// thread-scaling bench harness; 0 means "unset" (callers pick their
+  /// own default, typically 1 or hardware_concurrency).
+  int default_threads = 0;
+};
+
+/// The once-initialized environment snapshot. First call reads the
+/// environment (thread-safe via the magic-static guarantee); later calls
+/// are a plain reference return and never touch getenv.
+const EnvConfig& ProcessEnv();
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_ENV_H_

@@ -124,21 +124,32 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
 
 ExecutionResult PhysicalPlan::Execute(Counter tuple_budget,
                                       TraceSink* trace) {
-  ExecutionResult result;
-  arena_.Reset();
-  ExecContext ctx(tuple_budget, &arena_);
   TraceSink* sink = trace != nullptr ? trace : GlobalTraceSinkIfEnabled();
-  const uint64_t span_mark = sink != nullptr ? sink->total_recorded() : 0;
-  ctx.set_tracer(sink);
+  ExecutionResult result = ExecuteShared(
+      &arena_, tuple_budget, sink, sink != nullptr ? &GlobalMetrics() : nullptr);
+  if (sink != nullptr && sink == GlobalTraceSinkIfEnabled()) {
+    (void)FlushTraceArtifacts();
+  }
+  return result;
+}
+
+ExecutionResult PhysicalPlan::ExecuteShared(ExecArena* arena,
+                                            Counter tuple_budget,
+                                            TraceSink* trace,
+                                            MetricsRegistry* metrics) const {
+  ExecutionResult result;
+  if (arena != nullptr) arena->Reset();
+  ExecContext ctx(tuple_budget, arena);
+  const uint64_t span_mark = trace != nullptr ? trace->total_recorded() : 0;
+  ctx.set_tracer(trace);
   WallTimer timer;
   Relation output = Exec(*root_, join_algorithm_, ctx);
   result.seconds = timer.ElapsedSeconds();
   result.stats = ctx.stats();
-  if (sink != nullptr) {
-    ctx.stats().PublishTo(&GlobalMetrics());
-    PublishSpanMetrics(sink->SnapshotSince(span_mark), &GlobalMetrics());
-    if (sink == GlobalTraceSinkIfEnabled()) {
-      (void)FlushTraceArtifacts();
+  if (metrics != nullptr) {
+    ctx.stats().PublishTo(metrics);
+    if (trace != nullptr) {
+      PublishSpanMetrics(trace->SnapshotSince(span_mark), metrics);
     }
   }
   if (ctx.exhausted()) {

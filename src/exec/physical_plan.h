@@ -17,6 +17,7 @@
 
 namespace ppr {
 
+class MetricsRegistry;
 class TraceSink;
 
 /// One logical plan node lowered to physical form: stored-relation
@@ -92,6 +93,23 @@ class PhysicalPlan {
   /// and refresh the PPR_TRACE artifacts when the global sink was used.
   ExecutionResult Execute(Counter tuple_budget = kCounterMax,
                           TraceSink* trace = nullptr);
+
+  /// Const execution for a plan shared across threads (the plan cache of
+  /// src/runtime hands one compiled plan to many workers). The caller
+  /// supplies the scratch arena — each worker owns its own, reused across
+  /// jobs and Reset() here per run; nullptr falls back to a private
+  /// per-run arena. Nothing in the plan is mutated, so any number of
+  /// threads may ExecuteShared the same plan concurrently as long as each
+  /// passes its own arena/trace/metrics.
+  ///
+  /// Observability stays explicit and thread-local: spans go to `trace`
+  /// when non-null (never to the process-wide sink), per-run stats (and,
+  /// when traced, span histograms) publish into `metrics` when non-null
+  /// (never to GlobalMetrics()), and no trace artifacts are flushed.
+  ExecutionResult ExecuteShared(ExecArena* arena,
+                                Counter tuple_budget = kCounterMax,
+                                TraceSink* trace = nullptr,
+                                MetricsRegistry* metrics = nullptr) const;
 
   /// Schema of the answer relation (the root's projected label).
   const Schema& output_schema() const { return root_->output_schema; }

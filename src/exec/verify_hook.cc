@@ -1,8 +1,8 @@
 #include "exec/verify_hook.h"
 
-#include <cstdlib>
-#include <cstring>
 #include <utility>
+
+#include "common/env.h"
 
 namespace ppr {
 namespace {
@@ -12,11 +12,11 @@ PlanVerifierHooks& Hooks() {
   return hooks;
 }
 
+// Initial value comes from the once-read ProcessEnv() snapshot
+// (common/env.h), not a getenv call, so compilation on runtime worker
+// threads (plan-cache misses) never reads the environment.
 bool& Enabled() {
-  static bool enabled = [] {
-    const char* env = std::getenv("PPR_VERIFY_PLANS");
-    return env != nullptr && std::strcmp(env, "0") != 0;
-  }();
+  static bool enabled = ProcessEnv().verify_plans;
   return enabled;
 }
 

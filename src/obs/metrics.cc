@@ -94,6 +94,23 @@ void MetricsRegistry::RecordHistogram(std::string_view name, uint64_t value) {
   it->second.Record(value);
 }
 
+void MetricsRegistry::Merge(const MetricsSnapshot& shard) {
+  for (const auto& [name, value] : shard.counters) {
+    AddCounter(name, value);
+  }
+  for (const auto& [name, value] : shard.maxes) {
+    RaiseMax(name, value);
+  }
+  for (const auto& [name, hist] : shard.histograms) {
+    auto it = data_.histograms.find(name);
+    if (it == data_.histograms.end()) {
+      data_.histograms.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+}
+
 int64_t MetricsRegistry::counter(std::string_view name) const {
   return data_.counter(name);
 }

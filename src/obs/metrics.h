@@ -46,6 +46,16 @@ struct Log2Histogram {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Folds `other` into this histogram (buckets, count, and sum add; max
+  /// takes the larger). Merging is commutative and associative, so a set
+  /// of shard histograms folds to the same result in any order.
+  void Merge(const Log2Histogram& other) {
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+  }
 };
 
 /// A point-in-time copy of a registry's contents, used for delta
@@ -72,9 +82,16 @@ MetricsSnapshot DeltaSince(const MetricsSnapshot& before,
 /// counters publish here under the `exec.*` names (see
 /// ExecStats::PublishTo in relational/exec_context.h), and
 /// ExecStatsFromDelta reconstructs an ExecStats from two snapshots.
-/// Single-threaded, like the engine; lookups are by string so this is for
-/// run-level accounting, never per-tuple paths (operators record spans,
-/// and spans publish here once per run).
+///
+/// Threading contract: a registry instance is single-threaded — it takes
+/// no locks and the engine's hot paths must stay lock-free. Concurrent
+/// components (src/runtime) give every worker its own registry *shard*
+/// and fold the shards into a target registry with Merge() from a single
+/// thread at batch drain; the process-wide GlobalMetrics() registry is
+/// only ever touched from that draining (or otherwise single) thread.
+/// Lookups are by string so this is for run-level accounting, never
+/// per-tuple paths (operators record spans, and spans publish here once
+/// per run).
 class MetricsRegistry {
  public:
   /// Adds `delta` (>= 0) to counter `name`, creating it at zero.
@@ -85,6 +102,15 @@ class MetricsRegistry {
 
   /// Records `value` into histogram `name`, creating it empty.
   void RecordHistogram(std::string_view name, uint64_t value);
+
+  /// Folds a shard's contents into this registry: counters add, max
+  /// gauges take the larger value, histograms merge bucket-wise. The
+  /// single-point merge of the sharded design — commutative and
+  /// associative, so draining shards in any order yields byte-identical
+  /// registries as long as the recorded values themselves are
+  /// deterministic.
+  void Merge(const MetricsSnapshot& shard);
+  void Merge(const MetricsRegistry& shard) { Merge(shard.data_); }
 
   int64_t counter(std::string_view name) const;
   int64_t max_value(std::string_view name) const;

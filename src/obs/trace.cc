@@ -1,9 +1,9 @@
 #include "obs/trace.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
 
 namespace ppr {
 namespace {
@@ -14,14 +14,15 @@ struct GlobalTraceState {
   TraceSink sink;
 };
 
+// Seeded from the once-read ProcessEnv() snapshot (common/env.h) instead
+// of a getenv call here, so enabling state can be derived on a worker
+// thread without ever touching the environment.
 GlobalTraceState& TraceState() {
   static GlobalTraceState state = [] {
     GlobalTraceState s;
-    const char* env = std::getenv("PPR_TRACE");
-    if (env != nullptr && env[0] != '\0') {
-      s.enabled = true;
-      s.path = env;
-    }
+    const EnvConfig& env = ProcessEnv();
+    s.enabled = env.trace_enabled;
+    s.path = env.trace_path;
     return s;
   }();
   return state;
@@ -74,6 +75,17 @@ std::vector<TraceSpan> TraceSink::SnapshotSince(uint64_t seq) const {
     out.push_back(buffer_[s % capacity_]);
   }
   return out;
+}
+
+void TraceSink::Merge(const TraceSink& other) {
+  const int64_t offset =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(other.epoch_ -
+                                                           epoch_)
+          .count();
+  for (TraceSpan span : other.SnapshotSince(0)) {
+    span.start_ns += offset;
+    Record(span);
+  }
 }
 
 void TraceSink::Clear() {

@@ -57,7 +57,14 @@ struct TraceSpan {
 
 /// Fixed-capacity ring buffer of spans. Recording never allocates once
 /// the buffer is full: the oldest span is overwritten and counted as
-/// dropped. Single-threaded, like the engine.
+/// dropped.
+///
+/// Threading contract: a sink instance is single-threaded — Record()
+/// takes no locks, keeping the kernels' enabled path cheap. Concurrent
+/// components (src/runtime) attach a private sink *shard* to each
+/// worker's ExecContext and fold the shards into the process-wide sink
+/// with Merge() from a single thread at batch drain; the global sink is
+/// only ever touched from that draining (or otherwise single) thread.
 class TraceSink {
  public:
   static constexpr size_t kDefaultCapacity = 8192;
@@ -82,6 +89,14 @@ class TraceSink {
   /// caller isolate the spans of one run: mark = total_recorded() before,
   /// SnapshotSince(mark) after.
   std::vector<TraceSpan> SnapshotSince(uint64_t seq) const;
+
+  /// Appends `other`'s buffered spans to this sink, rebasing their
+  /// start_ns from `other`'s epoch onto this sink's epoch so the merged
+  /// timeline stays consistent. The single-point merge of the sharded
+  /// design: workers record into private sinks, one thread folds them
+  /// into the global sink at drain. Overflows drop the oldest spans, as
+  /// with Record().
+  void Merge(const TraceSink& other);
 
   /// Drops all buffered spans and resets the sequence counter.
   void Clear();

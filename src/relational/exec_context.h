@@ -76,6 +76,14 @@ ExecStats ExecStatsFromDelta(const MetricsSnapshot& delta);
 /// tuples produced instead of a wall-clock alarm: when the budget is
 /// exhausted, operators stop producing and the executor reports
 /// RESOURCE_EXHAUSTED.
+///
+/// Ownership/threading audit (the contract the concurrent runtime of
+/// src/runtime is built on): an ExecContext — and the arena, stats,
+/// tracer, and budget inside it — belongs to exactly one run on exactly
+/// one thread. Nothing here takes a lock. Workers each own a private
+/// ExecArena reused across jobs and construct a fresh ExecContext around
+/// it per job; only immutable state (compiled PhysicalPlans, stored
+/// Relations, specs) may be shared between threads.
 class ExecContext {
  public:
   /// Creates a context with an optional budget on tuples produced. When

@@ -1,0 +1,218 @@
+#include "runtime/batch_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/arena.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/timer.h"
+#include "exec/physical_plan.h"
+#include "exec/verify_hook.h"
+#include "obs/exporters.h"
+#include "obs/trace.h"
+#include "runtime/thread_pool.h"
+
+namespace ppr {
+namespace {
+
+// Rewrites a result relation from canonical attribute ids back to the
+// job's original ids, with columns in ascending original-attribute order
+// — exactly the schema an uncached execution of the original query would
+// produce (root projected labels are sorted).
+Relation RemapOutput(const Relation& output,
+                     const std::vector<AttrId>& from_canonical) {
+  const Schema& schema = output.schema();
+  const int arity = schema.arity();
+  if (arity == 0) return output;  // nullary: only the nonempty bit matters
+
+  std::vector<std::pair<AttrId, int>> cols;  // (original attr, source col)
+  cols.reserve(static_cast<size_t>(arity));
+  for (int c = 0; c < arity; ++c) {
+    const AttrId canonical = schema.attr(c);
+    PPR_CHECK(canonical >= 0 &&
+              static_cast<size_t>(canonical) < from_canonical.size());
+    cols.emplace_back(from_canonical[static_cast<size_t>(canonical)], c);
+  }
+  std::sort(cols.begin(), cols.end());
+
+  std::vector<AttrId> attrs;
+  attrs.reserve(cols.size());
+  for (const auto& [attr, col] : cols) attrs.push_back(attr);
+  Relation remapped{Schema(std::move(attrs))};
+  remapped.Reserve(output.size());
+  std::vector<Value> row(static_cast<size_t>(arity));
+  for (int64_t i = 0; i < output.size(); ++i) {
+    for (int c = 0; c < arity; ++c) {
+      row[static_cast<size_t>(c)] = output.at(i, cols[static_cast<size_t>(c)].second);
+    }
+    remapped.AppendRaw(row.data());
+  }
+  return remapped;
+}
+
+ExecutionResult ErrorResult(Status status) {
+  ExecutionResult result;
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace
+
+struct BatchExecutor::WorkerState {
+  ExecArena arena;           // reused across this worker's jobs
+  MetricsRegistry metrics;   // shard, merged at drain
+  std::unique_ptr<TraceSink> trace;  // shard, only when tracing is on
+};
+
+BatchExecutor::BatchExecutor(const Database& db, BatchOptions options)
+    : db_(db), options_(options) {
+  num_threads_ = options_.num_threads;
+  if (num_threads_ <= 0) {
+    num_threads_ = ProcessEnv().default_threads > 0
+                       ? ProcessEnv().default_threads
+                       : ThreadPool::HardwareThreads();
+  }
+  if (options_.use_plan_cache) {
+    if (options_.cache != nullptr) {
+      cache_ = options_.cache;
+    } else {
+      owned_cache_ = std::make_unique<PlanCache>(options_.cache_capacity);
+      cache_ = owned_cache_.get();
+    }
+    db_fingerprint_ = FingerprintDatabase(db_);
+  }
+}
+
+void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
+                               ExecutionResult* slot) const {
+  TraceSink* trace = worker->trace.get();
+  if (cache_ == nullptr) {
+    // Uncached: plan + compile the original query, exactly as the
+    // single-threaded RunStrategy path does.
+    Plan plan = BuildStrategyPlan(job.strategy, job.query, job.seed);
+    Result<PhysicalPlan> compiled = PhysicalPlan::Compile(
+        job.query, plan, db_, options_.join_algorithm);
+    if (!compiled.ok()) {
+      *slot = ErrorResult(compiled.status());
+      return;
+    }
+    *slot = compiled->ExecuteShared(&worker->arena, job.tuple_budget, trace,
+                                    &worker->metrics);
+    return;
+  }
+
+  const CanonicalQuery canon = CanonicalizeQuery(job.query);
+  PlanCacheKey key;
+  key.structure = canon.structure;
+  key.strategy = job.strategy;
+  key.seed = job.seed;
+  key.join_algorithm = options_.join_algorithm;
+  key.db = &db_;
+  key.db_fingerprint = db_fingerprint_;
+
+  Result<std::shared_ptr<const CachedPlan>> cached = cache_->GetOrCompile(
+      key, [this, &canon, &job]() -> Result<CachedPlan> {
+        Plan plan =
+            BuildStrategyPlan(job.strategy, canon.query, job.seed);
+        const int width = plan.Width();
+        Result<PhysicalPlan> compiled = PhysicalPlan::Compile(
+            canon.query, plan, db_, options_.join_algorithm);
+        if (!compiled.ok()) return compiled.status();
+        return CachedPlan{canon.query, std::move(*compiled), width};
+      });
+  if (!cached.ok()) {
+    *slot = ErrorResult(cached.status());
+    return;
+  }
+
+  ExecutionResult result = (*cached)->physical.ExecuteShared(
+      &worker->arena, job.tuple_budget, trace, &worker->metrics);
+  if (result.status.ok()) {
+    result.output = RemapOutput(result.output, canon.from_canonical);
+  }
+  *slot = std::move(result);
+}
+
+BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
+  // Force every lazily-initialized process-wide singleton on this thread
+  // before any worker exists: the env snapshot, the trace gate, and the
+  // verifier hooks/gate. Workers then only ever read them.
+  (void)ProcessEnv();
+  (void)TracingEnabled();
+  (void)PlanVerificationEnabled();
+  (void)GetPlanVerifierHooks();
+
+  BatchResult out;
+  out.num_threads = num_threads_;
+  out.results.resize(jobs.size());
+  const PlanCache::Stats cache_before =
+      cache_ != nullptr ? cache_->stats() : PlanCache::Stats{};
+
+  const bool tracing = GlobalTraceSinkIfEnabled() != nullptr;
+  std::vector<WorkerState> workers(static_cast<size_t>(num_threads_));
+  if (tracing) {
+    for (WorkerState& w : workers) w.trace = std::make_unique<TraceSink>();
+  }
+
+  WallTimer timer;
+  {
+    ThreadPool pool(num_threads_);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const BatchJob* job = &jobs[i];
+      ExecutionResult* slot = &out.results[i];
+      pool.Submit([this, job, slot, &workers](int worker) {
+        ProcessJob(*job, &workers[static_cast<size_t>(worker)], slot);
+      });
+    }
+    pool.Wait();
+  }
+  out.seconds = timer.ElapsedSeconds();
+
+  // Drain, single-threaded from here on. Totals fold in input order so
+  // the aggregate is byte-identical however the jobs interleaved.
+  for (const ExecutionResult& r : out.results) {
+    out.totals.tuples_produced += r.stats.tuples_produced;
+    out.totals.num_joins += r.stats.num_joins;
+    out.totals.num_projections += r.stats.num_projections;
+    out.totals.num_semijoins += r.stats.num_semijoins;
+    out.totals.NoteIntermediate(r.stats.max_intermediate_arity,
+                                r.stats.max_intermediate_rows);
+    out.totals.NotePeakBytes(r.stats.peak_bytes);
+  }
+  if (cache_ != nullptr) {
+    const PlanCache::Stats after = cache_->stats();
+    out.cache.hits = after.hits - cache_before.hits;
+    out.cache.misses = after.misses - cache_before.misses;
+    out.cache.evictions = after.evictions - cache_before.evictions;
+  }
+
+  MetricsRegistry* target =
+      options_.metrics != nullptr ? options_.metrics : &GlobalMetrics();
+  for (const WorkerState& w : workers) target->Merge(w.metrics);
+  target->AddCounter("runtime.batch.jobs",
+                     static_cast<int64_t>(jobs.size()));
+  target->AddCounter("runtime.batch.runs", 1);
+  int64_t timeouts = 0;
+  for (const ExecutionResult& r : out.results) {
+    if (r.status.code() == StatusCode::kResourceExhausted) ++timeouts;
+    target->RecordHistogram("runtime.job.tuples",
+                            static_cast<uint64_t>(r.stats.tuples_produced));
+  }
+  target->AddCounter("runtime.batch.timeouts", timeouts);
+  target->RaiseMax("runtime.batch.threads", num_threads_);
+  if (cache_ != nullptr) {
+    target->AddCounter("runtime.cache.hits", out.cache.hits);
+    target->AddCounter("runtime.cache.misses", out.cache.misses);
+    target->AddCounter("runtime.cache.evictions", out.cache.evictions);
+  }
+
+  if (tracing) {
+    TraceSink* global = GlobalTraceSinkIfEnabled();
+    for (const WorkerState& w : workers) global->Merge(*w.trace);
+    (void)FlushTraceArtifacts();
+  }
+  return out;
+}
+
+}  // namespace ppr

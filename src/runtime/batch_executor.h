@@ -1,0 +1,118 @@
+#ifndef PPR_RUNTIME_BATCH_EXECUTOR_H_
+#define PPR_RUNTIME_BATCH_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "common/types.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "runtime/plan_cache.h"
+
+namespace ppr {
+
+/// One unit of batch work: evaluate `query` against the executor's
+/// database with the plan `strategy` builds (seeded tie-breaks via
+/// `seed`), under `tuple_budget`.
+struct BatchJob {
+  ConjunctiveQuery query;
+  StrategyKind strategy = StrategyKind::kBucketElimination;
+  uint64_t seed = 0;
+  Counter tuple_budget = kCounterMax;
+};
+
+struct BatchOptions {
+  /// Worker count; >= 1, or 0 to auto-pick (PPR_THREADS when set,
+  /// otherwise the hardware thread count).
+  int num_threads = 1;
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+
+  /// With the cache on, jobs are canonicalized and isomorphic instances
+  /// share one compiled plan (built for the *canonical* query, so the
+  /// shared plan is independent of which job compiles first). Off, every
+  /// job plans + compiles its own query exactly as RunStrategy would.
+  bool use_plan_cache = true;
+  /// Capacity of the internally owned cache (ignored with `cache` set).
+  size_t cache_capacity = 1024;
+  /// External cache to share across batches/executors; null means the
+  /// executor owns a private one.
+  PlanCache* cache = nullptr;
+
+  /// Registry the per-worker metric shards merge into at drain; null
+  /// means GlobalMetrics(). The merge happens on the calling thread after
+  /// all workers have finished — workers themselves never touch it.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Everything one Run() produced.
+struct BatchResult {
+  /// Per-job results in *input order*, regardless of which worker ran
+  /// which job when.
+  std::vector<ExecutionResult> results;
+  /// Sum/max of the per-job ExecStats, folded in input order at drain —
+  /// byte-identical across runs and thread counts (each job's stats are
+  /// deterministic, and so is the fold order).
+  ExecStats totals;
+  /// Cache counter deltas for this batch (zeros when the cache is off).
+  /// Hits and misses are deterministic thanks to single-flight compiles.
+  PlanCache::Stats cache;
+  /// Wall-clock for the whole batch (submit to drain).
+  double seconds = 0.0;
+  /// Workers actually used.
+  int num_threads = 1;
+
+  int64_t num_jobs() const { return static_cast<int64_t>(results.size()); }
+};
+
+/// Schedules batches of (query, strategy) jobs across a fixed-size worker
+/// pool — the paper's workload shape, thousands of small project-join
+/// queries over a tiny database, which rewards inter-query parallelism
+/// and plan reuse far more than intra-query parallelism would.
+///
+/// Worker-state ownership: each worker owns an ExecArena (reused across
+/// its jobs, never shared), a MetricsRegistry shard, and — when tracing
+/// is enabled — a TraceSink shard. The hot path is lock-free except for
+/// the task-queue pop and at most one plan-cache shard lock per job;
+/// shards merge into the global registry/sink once, at batch drain, on
+/// the calling thread. Process-wide env state (PPR_TRACE,
+/// PPR_VERIFY_PLANS) is forced to initialize before workers spawn, so
+/// worker threads never read the environment.
+///
+/// Determinism: results arrive in input order; a job's output, stats, and
+/// status never depend on worker count or interleaving (cached plans are
+/// compiled from the canonical query, so even "who compiled it" cannot
+/// matter); batch totals fold in input order.
+class BatchExecutor {
+ public:
+  /// The database must outlive the executor and all cached plans.
+  explicit BatchExecutor(const Database& db, BatchOptions options = {});
+
+  /// Runs all jobs to completion and drains worker shards.
+  BatchResult Run(const std::vector<BatchJob>& jobs);
+
+  /// The cache in use (owned or external); null when caching is off.
+  PlanCache* cache() { return cache_; }
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  struct WorkerState;
+
+  void ProcessJob(const BatchJob& job, WorkerState* worker,
+                  ExecutionResult* slot) const;
+
+  const Database& db_;
+  BatchOptions options_;
+  int num_threads_ = 1;
+  std::unique_ptr<PlanCache> owned_cache_;
+  PlanCache* cache_ = nullptr;
+  uint64_t db_fingerprint_ = 0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RUNTIME_BATCH_EXECUTOR_H_

@@ -1,0 +1,84 @@
+#ifndef PPR_RUNTIME_BOUNDED_QUEUE_H_
+#define PPR_RUNTIME_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppr {
+
+/// Bounded multi-producer multi-consumer queue: a mutex-protected deque
+/// with two condition variables. This is deliberately the simplest
+/// correct MPMC design — tasks here are whole query evaluations
+/// (microseconds to seconds of work), so queue transfer cost is noise
+/// and provable correctness under tsan beats a lock-free ring.
+///
+/// The bound provides backpressure: producers block in Push() while the
+/// queue is full, so a batch submitter can never race ahead of the
+/// workers by more than `capacity` tasks worth of memory.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    PPR_CHECK(capacity_ > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed), then enqueues.
+  /// Returns false — and drops `value` — when the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and
+  /// drained), then dequeues. Returns nullopt only after Close() once all
+  /// remaining items have been consumed, so closing never loses work.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wakes all blocked producers (their pushes fail) and lets consumers
+  /// drain the remaining items before Pop() returns nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RUNTIME_BOUNDED_QUEUE_H_

@@ -1,0 +1,355 @@
+#include "runtime/plan_cache.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppr {
+namespace {
+
+// SplitMix64-style mixing (same family as common/hash.h) for the
+// refinement colors and fingerprint hashes. Colors are structural
+// summaries, not security tokens; 64-bit accidental collisions are
+// irrelevant next to the heuristic incompleteness documented on
+// CanonicalQuery — and cache soundness never rests on a hash (keys
+// compare the full structure bytes).
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0x94D049BB133111EBULL;
+  for (char c : s) h = Mix(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+size_t CountDistinct(std::vector<uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  return static_cast<size_t>(
+      std::unique(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace
+
+CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query) {
+  const std::vector<AttrId> attrs = query.AllAttrs();
+  const size_t n = attrs.size();
+  auto dense_of = [&attrs](AttrId a) {
+    return static_cast<size_t>(
+        std::lower_bound(attrs.begin(), attrs.end(), a) - attrs.begin());
+  };
+
+  std::vector<char> is_free(n, 0);
+  for (AttrId f : query.free_vars()) is_free[dense_of(f)] = 1;
+
+  struct AtomInfo {
+    uint64_t rel_hash = 0;
+    std::vector<size_t> args;  // dense attr indices, repeats preserved
+  };
+  std::vector<AtomInfo> atom_infos;
+  atom_infos.reserve(query.atoms().size());
+  for (const Atom& atom : query.atoms()) {
+    AtomInfo info;
+    info.rel_hash = HashString(atom.relation);
+    info.args.reserve(atom.args.size());
+    for (AttrId a : atom.args) info.args.push_back(dense_of(a));
+    atom_infos.push_back(std::move(info));
+  }
+
+  // Weisfeiler-Leman color refinement over the attribute <-> atom
+  // incidence structure. An attribute's new color digests, for every
+  // occurrence, the owning atom's signature (relation + the colors of all
+  // its args in order) and the occurrence position — so after a round,
+  // equal colors mean locally indistinguishable attributes.
+  std::vector<uint64_t> color(n);
+  for (size_t i = 0; i < n; ++i) {
+    color[i] = Mix(0x5150BBA7C0FFEE01ULL, static_cast<uint64_t>(is_free[i]));
+  }
+  auto refine_round = [&] {
+    std::vector<uint64_t> atom_sig(atom_infos.size());
+    for (size_t a = 0; a < atom_infos.size(); ++a) {
+      uint64_t h = atom_infos[a].rel_hash;
+      for (size_t arg : atom_infos[a].args) h = Mix(h, color[arg]);
+      atom_sig[a] = h;
+    }
+    std::vector<std::vector<uint64_t>> contrib(n);
+    for (size_t a = 0; a < atom_infos.size(); ++a) {
+      const auto& args = atom_infos[a].args;
+      for (size_t j = 0; j < args.size(); ++j) {
+        contrib[args[j]].push_back(Mix(atom_sig[a], j));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::sort(contrib[i].begin(), contrib[i].end());  // multiset digest
+      uint64_t h = color[i];
+      for (uint64_t c : contrib[i]) h = Mix(h, c);
+      color[i] = h;
+    }
+  };
+  auto refine_to_fixpoint = [&] {
+    size_t distinct = CountDistinct(color);
+    for (size_t round = 0; round < n; ++round) {
+      refine_round();
+      const size_t d = CountDistinct(color);
+      if (d == distinct) break;
+      distinct = d;
+    }
+    return distinct;
+  };
+  size_t distinct = refine_to_fixpoint();
+
+  // Individualization for symmetric remainders: force apart one member of
+  // a tied class and re-refine, until all colors are distinct. The member
+  // choice (smallest color, then input order) is deterministic but not
+  // isomorphism-invariant — the documented heuristic gap.
+  while (distinct < n) {
+    size_t pick = n;
+    uint64_t pick_color = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool tied =
+          std::count(color.begin(), color.end(), color[i]) > 1;
+      if (tied && (pick == n || color[i] < pick_color)) {
+        pick = i;
+        pick_color = color[i];
+      }
+    }
+    PPR_CHECK(pick < n);
+    color[pick] = Mix(color[pick], 0x1D1D1D1D1D1D1D1DULL);
+    distinct = refine_to_fixpoint();
+  }
+
+  // Canonical rank = position in color order (colors are now distinct).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&color](size_t a, size_t b) { return color[a] < color[b]; });
+  std::vector<AttrId> to_canonical(n);
+  CanonicalQuery canon;
+  canon.from_canonical.resize(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    to_canonical[order[rank]] = static_cast<AttrId>(rank);
+    canon.from_canonical[rank] = attrs[order[rank]];
+  }
+
+  std::vector<Atom> catoms;
+  catoms.reserve(atom_infos.size());
+  for (size_t a = 0; a < atom_infos.size(); ++a) {
+    Atom atom;
+    atom.relation = query.atoms()[a].relation;
+    atom.args.reserve(atom_infos[a].args.size());
+    for (size_t arg : atom_infos[a].args) {
+      atom.args.push_back(to_canonical[arg]);
+    }
+    catoms.push_back(std::move(atom));
+  }
+  std::sort(catoms.begin(), catoms.end(), [](const Atom& x, const Atom& y) {
+    if (x.relation != y.relation) return x.relation < y.relation;
+    return x.args < y.args;
+  });
+  std::vector<AttrId> cfree;
+  cfree.reserve(query.free_vars().size());
+  for (AttrId f : query.free_vars()) {
+    cfree.push_back(to_canonical[dense_of(f)]);
+  }
+  std::sort(cfree.begin(), cfree.end());
+
+  std::string structure;
+  for (const Atom& atom : catoms) {
+    structure += atom.relation;
+    structure += '(';
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      if (j > 0) structure += ',';
+      structure += std::to_string(atom.args[j]);
+    }
+    structure += ");";
+  }
+  structure += '|';
+  for (size_t j = 0; j < cfree.size(); ++j) {
+    if (j > 0) structure += ',';
+    structure += std::to_string(cfree[j]);
+  }
+
+  canon.query = ConjunctiveQuery(std::move(catoms), std::move(cfree));
+  canon.structure = std::move(structure);
+  return canon;
+}
+
+uint64_t FingerprintDatabase(const Database& db) {
+  uint64_t h = 0xD1B54A32D192ED03ULL;
+  for (const std::string& name : db.Names()) {  // sorted
+    Result<const Relation*> rel = db.Get(name);
+    PPR_CHECK(rel.ok());
+    h = Mix(h, HashString(name));
+    h = Mix(h, static_cast<uint64_t>((*rel)->arity()));
+    h = Mix(h, static_cast<uint64_t>((*rel)->size()));
+    const Relation& r = **rel;
+    const int64_t values = r.size() * r.arity();
+    for (int64_t i = 0; i < values; ++i) {
+      h = Mix(h, static_cast<uint64_t>(static_cast<uint32_t>(r.data()[i])));
+    }
+  }
+  return h;
+}
+
+uint64_t HashPlanCacheKey(const PlanCacheKey& key) {
+  uint64_t h = HashString(key.structure);
+  h = Mix(h, static_cast<uint64_t>(key.strategy));
+  h = Mix(h, key.seed);
+  h = Mix(h, static_cast<uint64_t>(key.join_algorithm));
+  h = Mix(h, reinterpret_cast<uintptr_t>(key.db));
+  h = Mix(h, key.db_fingerprint);
+  return h;
+}
+
+namespace {
+struct KeyHasher {
+  size_t operator()(const PlanCacheKey& key) const {
+    return static_cast<size_t>(HashPlanCacheKey(key));
+  }
+};
+}  // namespace
+
+/// Single-flight slot: the first thread to miss owns the compile; every
+/// later arrival blocks on `cv` until `done`.
+struct PlanCache::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status error;  // OK iff `plan` is set
+  std::shared_ptr<const CachedPlan> plan;
+};
+
+struct PlanCache::Shard {
+  mutable std::mutex mu;
+  /// LRU list, most recently used first; `entries` indexes it by key.
+  std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru;
+  std::unordered_map<
+      PlanCacheKey,
+      std::list<std::pair<PlanCacheKey,
+                          std::shared_ptr<const CachedPlan>>>::iterator,
+      KeyHasher>
+      entries;
+  std::unordered_map<PlanCacheKey, std::shared_ptr<InFlight>, KeyHasher>
+      inflight;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+PlanCache::PlanCache(size_t capacity, int num_shards) {
+  PPR_CHECK(num_shards >= 1);
+  shard_capacity_ = std::max<size_t>(
+      1, (capacity + static_cast<size_t>(num_shards) - 1) /
+             static_cast<size_t>(num_shards));
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::~PlanCache() = default;
+
+PlanCache::Shard& PlanCache::ShardFor(const PlanCacheKey& key) {
+  return *shards_[static_cast<size_t>(HashPlanCacheKey(key)) %
+                  shards_.size()];
+}
+
+Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
+    const PlanCacheKey& key, const Factory& factory) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    if (auto it = shard.inflight.find(key); it != shard.inflight.end()) {
+      // Someone else is compiling this key right now; reusing their
+      // result is a hit (this thread runs no factory), which keeps the
+      // counters deterministic under any interleaving.
+      ++shard.hits;
+      flight = it->second;
+    } else {
+      ++shard.misses;
+      flight = std::make_shared<InFlight>();
+      shard.inflight.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    if (!flight->error.ok()) return flight->error;
+    return flight->plan;
+  }
+
+  // Owner: compile with no cache lock held.
+  Result<CachedPlan> built = factory();
+  const Status error = built.status();
+  std::shared_ptr<const CachedPlan> plan;
+  if (built.ok()) {
+    plan = std::make_shared<const CachedPlan>(std::move(built).value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
+    if (plan != nullptr) {
+      shard.lru.emplace_front(key, plan);
+      shard.entries[key] = shard.lru.begin();
+      while (shard.entries.size() > shard_capacity_) {
+        shard.entries.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->error = error;
+    flight->plan = plan;
+  }
+  flight->cv.notify_all();
+  if (!error.ok()) return error;
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+  }
+  return total;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PPR_CHECK(shard->inflight.empty());
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace ppr

@@ -1,0 +1,56 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppr {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_(queue_capacity != 0
+                 ? queue_capacity
+                 : 2 * static_cast<size_t>(std::max(num_threads, 1))) {
+  PPR_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Close();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void(int)> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  const bool accepted = queue_.Push(std::move(task));
+  PPR_CHECK(accepted);  // Submit after destruction began is a caller bug
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  while (auto task = queue_.Pop()) {
+    (*task)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace ppr

@@ -1,0 +1,65 @@
+#ifndef PPR_RUNTIME_THREAD_POOL_H_
+#define PPR_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_queue.h"
+
+namespace ppr {
+
+/// Fixed-size worker pool over a bounded MPMC task queue.
+///
+/// Tasks receive the index (0..size()-1) of the worker running them, so
+/// callers can route each task to per-worker state (arena, metrics shard,
+/// trace shard) without any synchronization — the index is stable for the
+/// duration of the task and no two tasks share an index concurrently.
+///
+/// Submit() blocks when the queue is full (backpressure toward the
+/// submitting thread); Wait() blocks until every submitted task has
+/// finished. The destructor closes the queue, drains remaining tasks, and
+/// joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` (>= 1) workers. `queue_capacity` bounds the
+  /// task queue; 0 picks 2 * num_threads, enough to keep workers fed
+  /// while the submitter is still enqueueing.
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Closes the queue, runs whatever was already submitted, joins.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; blocks while the queue is full. Must not be called
+  /// after (or concurrently with) destruction.
+  void Submit(std::function<void(int worker)> task);
+
+  /// Blocks until all tasks submitted so far have completed.
+  void Wait();
+
+  /// Number of hardware threads, never less than 1 (the value behind
+  /// "num_threads = 0 means auto" knobs upstack).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  BoundedQueue<std::function<void(int)>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable all_done_;
+  int64_t submitted_ = 0;  // guarded by mu_
+  int64_t completed_ = 0;  // guarded by mu_
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RUNTIME_THREAD_POOL_H_

@@ -333,5 +333,102 @@ TEST_F(TracedExecutionTest, EnvGatedFlushWritesBothArtifacts) {
   std::remove(metrics_path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-merge APIs (the single synchronization point of the concurrent
+// runtime: workers record into private shards, one thread folds them).
+
+TEST(MetricsMergeTest, CountersAddMaxesRaiseHistogramsFold) {
+  MetricsRegistry target;
+  target.AddCounter("jobs", 2);
+  target.RaiseMax("width", 3);
+  target.RecordHistogram("rows", 8);
+
+  MetricsRegistry shard;
+  shard.AddCounter("jobs", 5);
+  shard.AddCounter("only_in_shard", 1);
+  shard.RaiseMax("width", 7);
+  shard.RecordHistogram("rows", 100);
+  shard.RecordHistogram("rows", 1);
+
+  target.Merge(shard);
+  EXPECT_EQ(target.counter("jobs"), 7);
+  EXPECT_EQ(target.counter("only_in_shard"), 1);
+  EXPECT_EQ(target.max_value("width"), 7);
+  const Log2Histogram* rows = target.histogram("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->count, 3u);
+  EXPECT_EQ(rows->sum, 109u);
+  EXPECT_EQ(rows->max, 100u);
+  // The shard is read-only input: merging must not change it.
+  EXPECT_EQ(shard.counter("jobs"), 5);
+}
+
+TEST(MetricsMergeTest, MergeOrderDoesNotChangeTheResult) {
+  MetricsRegistry a, b;
+  a.AddCounter("n", 3);
+  a.RaiseMax("m", 10);
+  a.RecordHistogram("h", 4);
+  b.AddCounter("n", 9);
+  b.RaiseMax("m", 2);
+  b.RecordHistogram("h", 1000);
+  b.RecordHistogram("h", 0);
+
+  MetricsRegistry ab, ba;
+  ab.Merge(a);
+  ab.Merge(b);
+  ba.Merge(b);
+  ba.Merge(a);
+  EXPECT_EQ(ab.ToJsonLines(), ba.ToJsonLines());
+}
+
+TEST(Log2HistogramMergeTest, BucketsCountSumAndMaxCombine) {
+  Log2Histogram a, b;
+  a.Record(1);
+  a.Record(5);
+  b.Record(5);
+  b.Record(77);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 88u);
+  EXPECT_EQ(a.max, 77u);
+  EXPECT_EQ(a.buckets[static_cast<size_t>(Log2Histogram::BucketOf(5))], 2u);
+}
+
+TEST(TraceSinkMergeTest, AppendsShardSpansToTheTargetTimeline) {
+  TraceSink target(16);
+  target.Record(MakeSpan(1));
+  TraceSink shard(16);
+  shard.Record(MakeSpan(2));
+  shard.Record(MakeSpan(3));
+
+  target.Merge(shard);
+  const std::vector<TraceSpan> spans = target.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].rows_out, 1);
+  EXPECT_EQ(spans[1].rows_out, 2);
+  EXPECT_EQ(spans[2].rows_out, 3);
+  // The shard's spans are rebased onto the target's epoch, so rebased
+  // starts are never *earlier* than the same span on the shard clock
+  // (the shard was constructed after the target).
+  const std::vector<TraceSpan> shard_spans = shard.Snapshot();
+  EXPECT_GE(spans[1].start_ns, shard_spans[0].start_ns);
+  // Merging does not consume the shard.
+  EXPECT_EQ(shard.total_recorded(), 2u);
+}
+
+TEST(TraceSinkMergeTest, OverflowDropsOldestLikeRecord) {
+  TraceSink target(4);
+  for (int64_t i = 0; i < 3; ++i) target.Record(MakeSpan(i));
+  TraceSink shard(8);
+  for (int64_t i = 10; i < 13; ++i) shard.Record(MakeSpan(i));
+  target.Merge(shard);
+  EXPECT_EQ(target.total_recorded(), 6u);
+  EXPECT_EQ(target.dropped(), 2u);
+  const std::vector<TraceSpan> spans = target.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].rows_out, 2);   // 0 and 1 fell off
+  EXPECT_EQ(spans[3].rows_out, 12);
+}
+
 }  // namespace
 }  // namespace ppr
