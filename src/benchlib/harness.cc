@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/strategies.h"
@@ -98,6 +99,7 @@ StrategyRun RunStrategy(StrategyKind kind, const ConjunctiveQuery& query,
   // Phase accounting for WriteBenchMetrics. Recorded after every timer
   // has stopped, so the publication cost never leaks into the measured
   // phases.
+  MutexLock lock(GlobalObsMutex());
   MetricsRegistry& metrics = GlobalMetrics();
   metrics.AddCounter("bench.runs", 1);
   if (run.timed_out) metrics.AddCounter("bench.timeouts", 1);
@@ -109,6 +111,7 @@ StrategyRun RunStrategy(StrategyKind kind, const ConjunctiveQuery& query,
 }
 
 Status WriteBenchMetrics(const std::string& path) {
+  MutexLock lock(GlobalObsMutex());
   return WriteFileAtomicEnough(path, GlobalMetrics().ToJsonLines());
 }
 

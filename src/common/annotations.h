@@ -1,0 +1,91 @@
+#ifndef PPR_COMMON_ANNOTATIONS_H_
+#define PPR_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotations, in the standard
+/// spelling from the Clang documentation and Abseil's
+/// thread_annotations.h. Under Clang they expand to the
+/// `capability`-family attributes that power `-Wthread-safety`; under
+/// every other compiler they expand to nothing, so the annotated tree
+/// still builds with the default gcc toolchain.
+///
+/// The repo's capability model (DESIGN.md "Static thread-safety
+/// analysis"): every piece of shared mutable state is either
+///  - a field GUARDED_BY an annotated ppr::Mutex (common/mutex.h),
+///  - reachable only through a method REQUIRES/EXCLUDES that Mutex, or
+///  - thread-confined by construction (per-worker shards, magic
+///    statics), in which case the confinement is documented where the
+///    analysis cannot see it.
+/// Raw std synchronization primitives are confined to common/mutex.h —
+/// enforced by tools/pprlint — so everything the analysis can check, it
+/// does check, on every build with `PPR_THREAD_SAFETY=ON`.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PPR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PPR_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability ("mutex" is the conventional
+/// role string used in diagnostics).
+#define CAPABILITY(x) PPR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY PPR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field (or a function's return value) is protected by
+/// the given capability: reads require the capability held at least
+/// shared, writes require it held exclusively.
+#define GUARDED_BY(x) PPR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like GUARDED_BY, but for the data a pointer field points to.
+#define PT_GUARDED_BY(x) PPR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the given capabilit(ies) exclusively
+/// before calling, and that the function does not release them.
+#define REQUIRES(...) \
+  PPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) version of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  PPR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capabilit(ies) and holds
+/// them on return (callers must not already hold them).
+#define ACQUIRE(...) PPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) version of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  PPR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the function releases the capabilit(ies), which callers
+/// must hold on entry.
+#define RELEASE(...) PPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) version of RELEASE.
+#define RELEASE_SHARED(...) \
+  PPR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability iff it returns
+/// the given value (e.g. TRY_ACQUIRE(true) for a try-lock).
+#define TRY_ACQUIRE(...) \
+  PPR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capabilit(ies) — the
+/// function acquires them itself, so holding one on entry deadlocks.
+#define EXCLUDES(...) PPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function (a runtime no-op here, std::mutex cannot
+/// name its holder) tells the analysis to assume the capability is held.
+#define ASSERT_CAPABILITY(x) PPR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Declares that the function returns a reference to the given
+/// capability (used by accessors handing out the mutex itself).
+#define RETURN_CAPABILITY(x) PPR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Every use must carry a
+/// comment explaining which invariant the analysis cannot see.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PPR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PPR_COMMON_ANNOTATIONS_H_

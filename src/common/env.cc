@@ -6,8 +6,15 @@
 namespace ppr {
 
 const EnvConfig& ProcessEnv() {
+  // The only getenv site in the tree (enforced by tools/pprlint): the
+  // magic static runs the lambda exactly once under the compiler's
+  // init guard, so concurrent first callers block until the snapshot is
+  // complete and no thread ever observes a partial EnvConfig. getenv
+  // itself is safe here because nothing in this process calls setenv.
   static const EnvConfig config = [] {
     EnvConfig c;
+    // NOLINTBEGIN(concurrency-mt-unsafe) -- single sanctioned snapshot;
+    // see the comment above.
     if (const char* env = std::getenv("PPR_TRACE");
         env != nullptr && env[0] != '\0') {
       c.trace_enabled = true;
@@ -22,6 +29,7 @@ const EnvConfig& ProcessEnv() {
       const int n = std::atoi(env);
       if (n > 0) c.default_threads = n;
     }
+    // NOLINTEND(concurrency-mt-unsafe)
     return c;
   }();
   return config;

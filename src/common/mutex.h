@@ -1,0 +1,93 @@
+#ifndef PPR_COMMON_MUTEX_H_
+#define PPR_COMMON_MUTEX_H_
+
+// The ONLY file in src/ allowed to name the raw std synchronization
+// primitives (enforced by tools/pprlint). Everything else takes ppr::Mutex /
+// ppr::MutexLock / ppr::CondVar so that every lock the process owns is a
+// Clang capability and every guarded access is checked by
+// -Wthread-safety (PPR_THREAD_SAFETY=ON).
+#include <condition_variable>  // pprlint: allow(raw-sync)
+#include <mutex>               // pprlint: allow(raw-sync)
+
+#include "common/annotations.h"
+
+namespace ppr {
+
+/// Annotated exclusive mutex over std::mutex. Same cost, same semantics;
+/// the wrapper exists so fields can be GUARDED_BY it and methods
+/// REQUIRES/EXCLUDES it, making PR 3/4's comment-only threading
+/// contracts compile errors under Clang.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }            // pprlint: allow(raw-sync)
+  void Unlock() RELEASE() { mu_.unlock(); }        // pprlint: allow(raw-sync)
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Static-analysis escape hatch: tells the analysis this thread holds
+  /// the mutex when ownership arrived some way it cannot see (e.g.
+  /// handed across a queue). Runtime no-op — std::mutex cannot verify
+  /// its holder.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // pprlint: allow(raw-sync)
+};
+
+/// RAII lock for Mutex — the scoped capability the analysis understands.
+/// Deliberately has no deferred/adoptable variants: every lock in the
+/// tree is either a MutexLock scope or an explicit Lock()/Unlock() pair
+/// the analysis tracks through ACQUIRE/RELEASE annotations.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() REQUIRES the mutex, so
+/// "waiting without the lock" and "waiting on the wrong lock" are
+/// compile errors; waiters spell their predicate as an explicit
+/// while-loop around Wait() (no lambda — the analysis cannot see lock
+/// state inside a closure body).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait and
+    // release the adoption before the guard destructs, so ownership
+    // stays with the caller's MutexLock scope.
+    std::unique_lock<std::mutex> lock(mu.mu_,     // pprlint: allow(raw-sync)
+                                      std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wakes one waiter. Callers may signal with or without the mutex
+  /// held; both are correct, unlocked is cheaper.
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes all waiters.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // pprlint: allow(raw-sync)
+};
+
+}  // namespace ppr
+
+#endif  // PPR_COMMON_MUTEX_H_

@@ -163,10 +163,11 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
 
   // Surface the static-analysis verdict when verification is enabled; a
   // rejected plan is reported, not executed.
-  const PlanVerifierHooks& hooks = GetPlanVerifierHooks();
+  const std::shared_ptr<const PlanVerifierHooks> hooks =
+      GetPlanVerifierHooks();
   const bool verify = PlanVerificationEnabled();
-  if (verify && hooks.logical) {
-    Status verdict = hooks.logical(query, plan, db);
+  if (verify && hooks->logical) {
+    Status verdict = hooks->logical(query, plan, db);
     result.verifier_verdict = verdict.ok() ? "OK" : verdict.ToString();
     if (!verdict.ok()) {
       result.status = verdict;
@@ -207,9 +208,9 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   // The predicted side: the width analyzer's per-node bounds, via the
   // verifier registration. A measured arity above a predicted bound
   // means the static proof is wrong — escalate like a verifier failure.
-  if (verify && hooks.node_bounds) {
+  if (verify && hooks->node_bounds) {
     std::vector<PlanNodeBound> bounds;
-    Status bound_status = hooks.node_bounds(query, plan, db, &bounds);
+    Status bound_status = hooks->node_bounds(query, plan, db, &bounds);
     if (bound_status.ok() && bounds.size() == result.nodes.size()) {
       for (size_t i = 0; i < bounds.size(); ++i) {
         NodeProfile& p = result.nodes[i];

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "exec/verify_hook.h"
 #include "obs/exporters.h"
@@ -106,17 +107,18 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
   // Debug-mode static analysis (exec/verify_hook.h): prove the logical
   // plan well-formed before lowering and the compiled plan faithful to it
   // after, failing compilation instead of executing a corrupt plan.
-  const PlanVerifierHooks& hooks = GetPlanVerifierHooks();
+  const std::shared_ptr<const PlanVerifierHooks> hooks =
+      GetPlanVerifierHooks();
   const bool verify = PlanVerificationEnabled();
-  if (verify && hooks.logical) {
-    Status verdict = hooks.logical(query, plan, db);
+  if (verify && hooks->logical) {
+    Status verdict = hooks->logical(query, plan, db);
     if (!verdict.ok()) return verdict;
   }
   int32_t next_node_id = 0;
   PhysicalPlan compiled(CompileNode(query, plan.root(), db, &next_node_id),
                         join_algorithm);
-  if (verify && hooks.compiled) {
-    Status verdict = hooks.compiled(query, plan, db, compiled);
+  if (verify && hooks->compiled) {
+    Status verdict = hooks->compiled(query, plan, db, compiled);
     if (!verdict.ok()) return verdict;
   }
   return compiled;
@@ -125,9 +127,18 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
 ExecutionResult PhysicalPlan::Execute(Counter tuple_budget,
                                       TraceSink* trace) {
   TraceSink* sink = trace != nullptr ? trace : GlobalTraceSinkIfEnabled();
-  ExecutionResult result = ExecuteShared(
-      &arena_, tuple_budget, sink, sink != nullptr ? &GlobalMetrics() : nullptr);
+  MetricsRegistry* metrics = nullptr;
+  if (sink != nullptr) {
+    // Publishing into the global registry during the run is safe under
+    // Execute's documented single-threaded contract; the capability only
+    // covers obtaining the reference (serialized against drains).
+    MutexLock lock(GlobalObsMutex());
+    metrics = &GlobalMetrics();
+  }
+  ExecutionResult result =
+      ExecuteShared(&arena_, tuple_budget, sink, metrics);
   if (sink != nullptr && sink == GlobalTraceSinkIfEnabled()) {
+    MutexLock lock(GlobalObsMutex());
     (void)FlushTraceArtifacts();
   }
   return result;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/ops.h"
@@ -65,7 +66,10 @@ SemijoinPassResult SemijoinReduce(const ConjunctiveQuery& query,
   // The kernel counts its own invocations now (ExecStats::num_semijoins);
   // report the same number so the two views cannot drift.
   out.semijoins_performed = ctx.stats().num_semijoins;
-  if (ctx.tracer() != nullptr) ctx.stats().PublishTo(&GlobalMetrics());
+  if (ctx.tracer() != nullptr) {
+    MutexLock lock(GlobalObsMutex());
+    ctx.stats().PublishTo(&GlobalMetrics());
+  }
 
   // Rewrite the query so atom i reads its reduced relation; attribute
   // order of the new relation is the atom's distinct-attribute order, so

@@ -1,37 +1,56 @@
 #include "exec/verify_hook.h"
 
+#include <atomic>
 #include <utility>
 
 #include "common/env.h"
+#include "common/mutex.h"
 
 namespace ppr {
 namespace {
 
-PlanVerifierHooks& Hooks() {
-  static PlanVerifierHooks hooks;
-  return hooks;
-}
+struct HookState {
+  Mutex mu;
+  /// Immutable snapshot, swapped whole under `mu`; readers copy the
+  /// shared_ptr (also under `mu` — a shared_ptr object is not safe to
+  /// copy concurrently with reassignment) and then run the callbacks
+  /// lock-free.
+  std::shared_ptr<const PlanVerifierHooks> hooks GUARDED_BY(mu) =
+      std::make_shared<const PlanVerifierHooks>();
+  /// Initial value comes from the once-read ProcessEnv() snapshot
+  /// (common/env.h), not a getenv call, so compilation on runtime worker
+  /// threads (plan-cache misses) never reads the environment.
+  std::atomic<bool> enabled{ProcessEnv().verify_plans};
+};
 
-// Initial value comes from the once-read ProcessEnv() snapshot
-// (common/env.h), not a getenv call, so compilation on runtime worker
-// threads (plan-cache misses) never reads the environment.
-bool& Enabled() {
-  static bool enabled = ProcessEnv().verify_plans;
-  return enabled;
+HookState& State() {
+  static HookState state;
+  return state;
 }
 
 }  // namespace
 
 void SetPlanVerifierHooks(PlanVerifierHooks hooks) {
-  Hooks() = std::move(hooks);
+  HookState& state = State();
+  auto snapshot = std::make_shared<const PlanVerifierHooks>(std::move(hooks));
+  MutexLock lock(state.mu);
+  state.hooks = std::move(snapshot);
 }
 
-void ClearPlanVerifierHooks() { Hooks() = PlanVerifierHooks{}; }
+void ClearPlanVerifierHooks() { SetPlanVerifierHooks(PlanVerifierHooks{}); }
 
-const PlanVerifierHooks& GetPlanVerifierHooks() { return Hooks(); }
+std::shared_ptr<const PlanVerifierHooks> GetPlanVerifierHooks() {
+  HookState& state = State();
+  MutexLock lock(state.mu);
+  return state.hooks;
+}
 
-void EnablePlanVerification(bool on) { Enabled() = on; }
+void EnablePlanVerification(bool on) {
+  State().enabled.store(on, std::memory_order_release);
+}
 
-bool PlanVerificationEnabled() { return Enabled(); }
+bool PlanVerificationEnabled() {
+  return State().enabled.load(std::memory_order_acquire);
+}
 
 }  // namespace ppr

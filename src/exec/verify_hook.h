@@ -2,8 +2,10 @@
 #define PPR_EXEC_VERIFY_HOOK_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/plan.h"
 #include "query/conjunctive_query.h"
@@ -50,19 +52,29 @@ struct PlanVerifierHooks {
       node_bounds;
 };
 
-/// Installs the hooks (replacing any previous ones).
+/// Installs the hooks (replacing any previous ones). Safe to call while
+/// compiles are running on other threads: the installed set is an
+/// immutable snapshot swapped under a lock, so in-flight compiles keep
+/// the hooks they already fetched. (Previously this rebound a bare
+/// static struct that racing compiles read member-by-member — one of
+/// the latent races the capability retrofit surfaced.)
 void SetPlanVerifierHooks(PlanVerifierHooks hooks);
 
 /// Removes the hooks.
 void ClearPlanVerifierHooks();
 
-/// Currently installed hooks (members are null when none installed).
-const PlanVerifierHooks& GetPlanVerifierHooks();
+/// The currently installed hook snapshot — never null; members are null
+/// when none installed. Callers keep the snapshot alive for the
+/// duration of one compile, so a concurrent Set/Clear cannot pull the
+/// callbacks out from under them.
+std::shared_ptr<const PlanVerifierHooks> GetPlanVerifierHooks();
 
 /// Debug flag gating verification at compile/explain time. Starts ON
 /// when the environment sets PPR_VERIFY_PLANS to anything but "0",
-/// OFF otherwise; toggled programmatically by tests and tools. Hooks
-/// only fire when both installed and enabled.
+/// OFF otherwise; toggled programmatically by tests and tools (an
+/// atomic, so toggling while worker threads compile is a stale read at
+/// worst, never a torn one). Hooks only fire when both installed and
+/// enabled.
 void EnablePlanVerification(bool on);
 bool PlanVerificationEnabled();
 

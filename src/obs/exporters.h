@@ -31,8 +31,9 @@ void PublishSpanMetrics(const std::vector<TraceSpan>& spans,
 /// the Chrome trace at TracePath() and the metrics JSONL at
 /// TracePath() + ".metrics.jsonl". No-op (OK) when tracing is disabled.
 /// Called by the execution layer after every traced run, so the files are
-/// always consistent with everything traced so far.
-Status FlushTraceArtifacts();
+/// always consistent with everything traced so far. Reads the global
+/// sink and registry, so the caller holds the obs capability.
+Status FlushTraceArtifacts() REQUIRES(GlobalObsMutex());
 
 }  // namespace ppr
 

@@ -131,6 +131,11 @@ std::string MetricsRegistry::ToJsonLines() const {
   return MetricsToJsonLines(data_);
 }
 
+Mutex& GlobalObsMutex() {
+  static Mutex mu;
+  return mu;
+}
+
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry registry;
   return registry;

@@ -8,6 +8,9 @@
 #include <string>
 #include <string_view>
 
+#include "common/annotations.h"
+#include "obs/obs_lock.h"
+
 namespace ppr {
 
 /// Fixed-bucket base-2 logarithmic histogram. Bucket b counts values in
@@ -132,7 +135,13 @@ class MetricsRegistry {
 
 /// Process-wide registry the execution layer publishes run metrics into
 /// while tracing is enabled; exported next to the Chrome trace as JSONL.
-MetricsRegistry& GlobalMetrics();
+/// Callers hold GlobalObsMutex() (obs_lock.h) to obtain the reference:
+/// that serializes the drain/publish paths — concurrent batch drains
+/// used to race each other here. The single-threaded traced-Execute
+/// path additionally writes through the escaped reference during its
+/// run, which is safe under that API's documented non-thread-safe
+/// contract (the analysis cannot see thread confinement).
+MetricsRegistry& GlobalMetrics() REQUIRES(GlobalObsMutex());
 
 /// Renders a snapshot with the same JSONL schema as
 /// MetricsRegistry::ToJsonLines (deltas are snapshots too).

@@ -1,0 +1,26 @@
+#ifndef PPR_OBS_OBS_LOCK_H_
+#define PPR_OBS_OBS_LOCK_H_
+
+#include "common/mutex.h"
+
+namespace ppr {
+
+/// The process-wide observability capability. Everything that mutates
+/// global observability state — merging worker shards into the global
+/// registry or trace sink, flushing trace artifacts, swapping the trace
+/// configuration — REQUIRES (or internally takes) this mutex, so two
+/// BatchExecutor::Run drains, or a drain racing a test's
+/// EnableTracing/DisableTracing, serialize instead of corrupting the
+/// shared state. All uses are cold drain/config paths; per-operator
+/// recording stays lock-free on thread-confined shards.
+///
+/// What the capability cannot cover (documented thread-confinement): the
+/// single-threaded PhysicalPlan::Execute records into the global sink
+/// and registry *during* a traced run without the lock. That is safe
+/// under Execute's documented non-thread-safe contract; concurrent
+/// components use ExecuteShared with private shards instead.
+Mutex& GlobalObsMutex();
+
+}  // namespace ppr
+
+#endif  // PPR_OBS_OBS_LOCK_H_

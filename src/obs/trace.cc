@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 #include "common/env.h"
@@ -9,22 +10,29 @@ namespace ppr {
 namespace {
 
 struct GlobalTraceState {
-  bool enabled = false;
-  std::string path;
+  /// The gate operators poll. Atomic so a programmatic toggle racing a
+  /// reader is a defined (if momentarily stale) load, not a torn one.
+  std::atomic<bool> enabled{false};
+  std::string path GUARDED_BY(GlobalObsMutex());
+  /// Not GUARDED_BY: the traced single-threaded Execute path records
+  /// into it lock-free (see GlobalTraceSinkIfEnabled in trace.h);
+  /// drain-side mutation goes through MergeIntoGlobalSink/DisableTracing
+  /// which hold GlobalObsMutex().
   TraceSink sink;
+
+  // Seeded from the once-read ProcessEnv() snapshot (common/env.h)
+  // instead of a getenv call here, so enabling state can be derived on a
+  // worker thread without ever touching the environment. Constructor
+  // accesses predate any sharing, so the guarded `path` write is safe.
+  GlobalTraceState() {
+    const EnvConfig& env = ProcessEnv();
+    enabled.store(env.trace_enabled, std::memory_order_relaxed);
+    path = env.trace_path;
+  }
 };
 
-// Seeded from the once-read ProcessEnv() snapshot (common/env.h) instead
-// of a getenv call here, so enabling state can be derived on a worker
-// thread without ever touching the environment.
 GlobalTraceState& TraceState() {
-  static GlobalTraceState state = [] {
-    GlobalTraceState s;
-    const EnvConfig& env = ProcessEnv();
-    s.enabled = env.trace_enabled;
-    s.path = env.trace_path;
-    return s;
-  }();
+  static GlobalTraceState state;
   return state;
 }
 
@@ -96,24 +104,33 @@ void TraceSink::Clear() {
 void EnableTracing(const std::string& path) {
   PPR_CHECK(!path.empty());
   GlobalTraceState& state = TraceState();
-  state.enabled = true;
+  MutexLock lock(GlobalObsMutex());
   state.path = path;
+  state.enabled.store(true, std::memory_order_release);
 }
 
 void DisableTracing() {
   GlobalTraceState& state = TraceState();
-  state.enabled = false;
+  MutexLock lock(GlobalObsMutex());
+  state.enabled.store(false, std::memory_order_release);
   state.path.clear();
   state.sink.Clear();
 }
 
-bool TracingEnabled() { return TraceState().enabled; }
+bool TracingEnabled() {
+  return TraceState().enabled.load(std::memory_order_acquire);
+}
 
 const std::string& TracePath() { return TraceState().path; }
 
 TraceSink* GlobalTraceSinkIfEnabled() {
   GlobalTraceState& state = TraceState();
-  return state.enabled ? &state.sink : nullptr;
+  return state.enabled.load(std::memory_order_acquire) ? &state.sink
+                                                       : nullptr;
+}
+
+void MergeIntoGlobalSink(const TraceSink& shard) {
+  TraceState().sink.Merge(shard);
 }
 
 }  // namespace ppr

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/timer.h"
+#include "obs/obs_lock.h"
 
 namespace ppr {
 
@@ -156,18 +158,32 @@ class SpanRecorder {
 /// following the PPR_VERIFY_PLANS pattern (exec/verify_hook.h): when the
 /// environment sets PPR_TRACE to a non-empty path, tracing starts ON with
 /// that file as the export target. EnableTracing/DisableTracing toggle it
-/// programmatically (tests, tools).
-void EnableTracing(const std::string& path);
-void DisableTracing();
+/// programmatically (tests, tools); they take GlobalObsMutex() internally
+/// to swap the configuration, and the enabled gate itself is an atomic,
+/// so a toggle racing a concurrent drain can no longer tear the state.
+void EnableTracing(const std::string& path) EXCLUDES(GlobalObsMutex());
+void DisableTracing() EXCLUDES(GlobalObsMutex());
 bool TracingEnabled();
 
 /// Export target for the Chrome trace ("" when tracing is disabled). The
-/// metrics JSONL dump goes to the same path + ".metrics.jsonl".
-const std::string& TracePath();
+/// metrics JSONL dump goes to the same path + ".metrics.jsonl". The
+/// returned reference is guarded by GlobalObsMutex() (EnableTracing
+/// rebinds it), hence the REQUIRES.
+const std::string& TracePath() REQUIRES(GlobalObsMutex());
 
 /// The global sink executions record into while tracing is enabled;
 /// nullptr when disabled. The null return is the branch operators pay.
+/// Lock-free: recording through the returned pointer is thread-confined
+/// to the single-threaded traced-Execute contract, which the analysis
+/// cannot see — concurrent components record into private shards and
+/// fold them in via MergeIntoGlobalSink() instead.
 TraceSink* GlobalTraceSinkIfEnabled();
+
+/// Folds a worker shard into the global sink. The drain-side entry point
+/// of the sharded design: requiring the obs capability here is what
+/// makes two concurrent BatchExecutor drains serialize instead of
+/// corrupting the global ring (a race the annotations surfaced).
+void MergeIntoGlobalSink(const TraceSink& shard) REQUIRES(GlobalObsMutex());
 
 }  // namespace ppr
 

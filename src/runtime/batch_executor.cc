@@ -6,6 +6,7 @@
 #include "common/arena.h"
 #include "common/check.h"
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "exec/physical_plan.h"
 #include "exec/verify_hook.h"
@@ -187,29 +188,38 @@ BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
     out.cache.evictions = after.evictions - cache_before.evictions;
   }
 
-  MetricsRegistry* target =
-      options_.metrics != nullptr ? options_.metrics : &GlobalMetrics();
-  for (const WorkerState& w : workers) target->Merge(w.metrics);
-  target->AddCounter("runtime.batch.jobs",
-                     static_cast<int64_t>(jobs.size()));
-  target->AddCounter("runtime.batch.runs", 1);
-  int64_t timeouts = 0;
-  for (const ExecutionResult& r : out.results) {
-    if (r.status.code() == StatusCode::kResourceExhausted) ++timeouts;
-    target->RecordHistogram("runtime.job.tuples",
-                            static_cast<uint64_t>(r.stats.tuples_produced));
-  }
-  target->AddCounter("runtime.batch.timeouts", timeouts);
-  target->RaiseMax("runtime.batch.threads", num_threads_);
-  if (cache_ != nullptr) {
-    target->AddCounter("runtime.cache.hits", out.cache.hits);
-    target->AddCounter("runtime.cache.misses", out.cache.misses);
-    target->AddCounter("runtime.cache.evictions", out.cache.evictions);
+  const auto publish = [&](MetricsRegistry* target) {
+    for (const WorkerState& w : workers) target->Merge(w.metrics);
+    target->AddCounter("runtime.batch.jobs",
+                       static_cast<int64_t>(jobs.size()));
+    target->AddCounter("runtime.batch.runs", 1);
+    int64_t timeouts = 0;
+    for (const ExecutionResult& r : out.results) {
+      if (r.status.code() == StatusCode::kResourceExhausted) ++timeouts;
+      target->RecordHistogram("runtime.job.tuples",
+                              static_cast<uint64_t>(r.stats.tuples_produced));
+    }
+    target->AddCounter("runtime.batch.timeouts", timeouts);
+    target->RaiseMax("runtime.batch.threads", num_threads_);
+    if (cache_ != nullptr) {
+      target->AddCounter("runtime.cache.hits", out.cache.hits);
+      target->AddCounter("runtime.cache.misses", out.cache.misses);
+      target->AddCounter("runtime.cache.evictions", out.cache.evictions);
+    }
+  };
+  // Touching the process-global registry or sink requires the obs
+  // capability: two executors may Run() concurrently, and before this
+  // lock their drains raced each other on the shared state.
+  if (options_.metrics != nullptr) {
+    publish(options_.metrics);
+  } else {
+    MutexLock lock(GlobalObsMutex());
+    publish(&GlobalMetrics());
   }
 
   if (tracing) {
-    TraceSink* global = GlobalTraceSinkIfEnabled();
-    for (const WorkerState& w : workers) global->Merge(*w.trace);
+    MutexLock lock(GlobalObsMutex());
+    for (const WorkerState& w : workers) MergeIntoGlobalSink(*w.trace);
     (void)FlushTraceArtifacts();
   }
   return out;

@@ -1,13 +1,12 @@
 #ifndef PPR_RUNTIME_BOUNDED_QUEUE_H_
 #define PPR_RUNTIME_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace ppr {
 
@@ -15,7 +14,8 @@ namespace ppr {
 /// with two condition variables. This is deliberately the simplest
 /// correct MPMC design — tasks here are whole query evaluations
 /// (microseconds to seconds of work), so queue transfer cost is noise
-/// and provable correctness under tsan beats a lock-free ring.
+/// and provable correctness (tsan at runtime, -Wthread-safety at
+/// compile time) beats a lock-free ring.
 ///
 /// The bound provides backpressure: producers block in Push() while the
 /// queue is full, so a batch submitter can never race ahead of the
@@ -32,51 +32,53 @@ class BoundedQueue {
 
   /// Blocks until there is room (or the queue is closed), then enqueues.
   /// Returns false — and drops `value` — when the queue was closed.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T value) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available (or the queue is closed and
   /// drained), then dequeues. Returns nullopt only after Close() once all
   /// remaining items have been consumed, so closing never loses work.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return value;
   }
 
   /// Wakes all blocked producers (their pushes fail) and lets consumers
   /// drain the remaining items before Pop() returns nullopt.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppr

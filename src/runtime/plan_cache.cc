@@ -1,10 +1,12 @@
 #include "runtime/plan_cache.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <list>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace ppr {
 namespace {
@@ -217,28 +219,29 @@ struct KeyHasher {
 /// Single-flight slot: the first thread to miss owns the compile; every
 /// later arrival blocks on `cv` until `done`.
 struct PlanCache::InFlight {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status error;  // OK iff `plan` is set
-  std::shared_ptr<const CachedPlan> plan;
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Status error GUARDED_BY(mu);  // OK iff `plan` is set
+  std::shared_ptr<const CachedPlan> plan GUARDED_BY(mu);
 };
 
 struct PlanCache::Shard {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   /// LRU list, most recently used first; `entries` indexes it by key.
-  std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru;
+  std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru
+      GUARDED_BY(mu);
   std::unordered_map<
       PlanCacheKey,
       std::list<std::pair<PlanCacheKey,
                           std::shared_ptr<const CachedPlan>>>::iterator,
       KeyHasher>
-      entries;
+      entries GUARDED_BY(mu);
   std::unordered_map<PlanCacheKey, std::shared_ptr<InFlight>, KeyHasher>
-      inflight;
-  int64_t hits = 0;
-  int64_t misses = 0;
-  int64_t evictions = 0;
+      inflight GUARDED_BY(mu);
+  int64_t hits GUARDED_BY(mu) = 0;
+  int64_t misses GUARDED_BY(mu) = 0;
+  int64_t evictions GUARDED_BY(mu) = 0;
 };
 
 PlanCache::PlanCache(size_t capacity, int num_shards) {
@@ -265,7 +268,7 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (auto it = shard.entries.find(key); it != shard.entries.end()) {
       ++shard.hits;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -286,10 +289,11 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
   }
 
   if (!owner) {
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&flight] { return flight->done; });
-    if (!flight->error.ok()) return flight->error;
-    return flight->plan;
+    InFlight& f = *flight;
+    MutexLock lock(f.mu);
+    while (!f.done) f.cv.Wait(f.mu);
+    if (!f.error.ok()) return f.error;
+    return f.plan;
   }
 
   // Owner: compile with no cache lock held.
@@ -300,7 +304,7 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
     plan = std::make_shared<const CachedPlan>(std::move(built).value());
   }
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.inflight.erase(key);
     if (plan != nullptr) {
       shard.lru.emplace_front(key, plan);
@@ -313,12 +317,13 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
-    flight->done = true;
-    flight->error = error;
-    flight->plan = plan;
+    InFlight& f = *flight;
+    MutexLock lock(f.mu);
+    f.done = true;
+    f.error = error;
+    f.plan = plan;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   if (!error.ok()) return error;
   return plan;
 }
@@ -326,10 +331,11 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
 PlanCache::Stats PlanCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.evictions += shard->evictions;
+    Shard& s = *shard;
+    MutexLock lock(s.mu);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
   }
   return total;
 }
@@ -337,18 +343,20 @@ PlanCache::Stats PlanCache::stats() const {
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->entries.size();
+    Shard& s = *shard;
+    MutexLock lock(s.mu);
+    total += s.entries.size();
   }
   return total;
 }
 
 void PlanCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    PPR_CHECK(shard->inflight.empty());
-    shard->entries.clear();
-    shard->lru.clear();
+    Shard& s = *shard;
+    MutexLock lock(s.mu);
+    PPR_CHECK(s.inflight.empty());
+    s.entries.clear();
+    s.lru.clear();
   }
 }
 

@@ -3,11 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "benchlib/harness.h"
@@ -84,9 +81,11 @@ struct CachedPlan {
 /// Sharded LRU cache of compiled plans keyed by structural fingerprint,
 /// so isomorphic generated instances share one compilation.
 ///
-/// Concurrency: each shard is an independent mutex + LRU list; a lookup
-/// touches exactly one shard lock and never blocks on another shard's
-/// compile. Misses are *single-flight*: the first thread to miss a key
+/// Concurrency: each shard is an independent annotated Mutex + LRU list
+/// (every shard field is GUARDED_BY its shard mutex — see plan_cache.cc
+/// — so the sharding contract is compiler-checked under
+/// PPR_THREAD_SAFETY); a lookup touches exactly one shard lock and never
+/// blocks on another shard's compile. Misses are *single-flight*: the first thread to miss a key
 /// compiles it with the shard lock released while every later arrival
 /// waits for that one compilation — so one compile per distinct key, and
 /// hit/miss counters are deterministic regardless of worker interleaving

@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void(int)> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++submitted_;
   }
   const bool accepted = queue_.Push(std::move(task));
@@ -33,8 +33,8 @@ void ThreadPool::Submit(std::function<void(int)> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return completed_ == submitted_; });
+  MutexLock lock(mu_);
+  while (completed_ != submitted_) all_done_.Wait(mu_);
 }
 
 int ThreadPool::HardwareThreads() {
@@ -46,10 +46,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
   while (auto task = queue_.Pop()) {
     (*task)(worker_index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++completed_;
     }
-    all_done_.notify_all();
+    all_done_.NotifyAll();
   }
 }
 

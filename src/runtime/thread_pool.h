@@ -1,12 +1,11 @@
 #ifndef PPR_RUNTIME_THREAD_POOL_H_
 #define PPR_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "runtime/bounded_queue.h"
 
 namespace ppr {
@@ -39,10 +38,10 @@ class ThreadPool {
 
   /// Enqueues a task; blocks while the queue is full. Must not be called
   /// after (or concurrently with) destruction.
-  void Submit(std::function<void(int worker)> task);
+  void Submit(std::function<void(int worker)> task) EXCLUDES(mu_);
 
   /// Blocks until all tasks submitted so far have completed.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Number of hardware threads, never less than 1 (the value behind
   /// "num_threads = 0 means auto" knobs upstack).
@@ -54,10 +53,10 @@ class ThreadPool {
   BoundedQueue<std::function<void(int)>> queue_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable all_done_;
-  int64_t submitted_ = 0;  // guarded by mu_
-  int64_t completed_ = 0;  // guarded by mu_
+  Mutex mu_;
+  CondVar all_done_;
+  int64_t submitted_ GUARDED_BY(mu_) = 0;
+  int64_t completed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ppr

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+
+namespace ppr {
+namespace {
+
+// Regression test for the ProcessEnv() initialization contract: the
+// snapshot is built exactly once under the magic-static init guard, so
+// concurrent FIRST callers must block until it is complete — no thread
+// may ever observe a partially-filled EnvConfig or a second copy.
+//
+// This lives in its own test binary on purpose: nothing else here calls
+// ProcessEnv(), so the hammer below really is the first access, with
+// all eight threads released into it by a spin barrier at once. Run
+// under the tsan preset this exercises the guard for real; under plain
+// builds it still checks the single-snapshot property.
+TEST(EnvRaceTest, ConcurrentFirstAccessYieldsOneSnapshot) {
+  constexpr int kThreads = 8;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> go{false};
+  std::vector<const EnvConfig*> seen(kThreads, nullptr);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &arrived, &go, &seen] {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      seen[static_cast<size_t>(t)] = &ProcessEnv();
+    });
+  }
+  while (arrived.load(std::memory_order_relaxed) < kThreads) {
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  // One snapshot: every thread got the same object, and re-reading it
+  // now (initialization long finished) shows the same contents.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[static_cast<size_t>(t)], nullptr) << "thread " << t;
+    EXPECT_EQ(seen[static_cast<size_t>(t)], &ProcessEnv()) << "thread " << t;
+  }
+  const EnvConfig& config = ProcessEnv();
+  EXPECT_EQ(config.trace_enabled, !config.trace_path.empty());
+}
+
+}  // namespace
+}  // namespace ppr

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "encode/kcolor.h"
 #include "exec/executor.h"
 #include "exec/physical_plan.h"
@@ -234,12 +235,18 @@ TEST(TracingGateTest, DisabledByDefaultAndTogglable) {
   // The test environment must not set PPR_TRACE (the build never does).
   ASSERT_FALSE(TracingEnabled());
   EXPECT_EQ(GlobalTraceSinkIfEnabled(), nullptr);
-  EXPECT_TRUE(FlushTraceArtifacts().ok());  // no-op when disabled
+  {
+    MutexLock lock(GlobalObsMutex());
+    EXPECT_TRUE(FlushTraceArtifacts().ok());  // no-op when disabled
+  }
 
   const std::string path = ::testing::TempDir() + "ppr_obs_test_trace.json";
   EnableTracing(path);
   EXPECT_TRUE(TracingEnabled());
-  EXPECT_EQ(TracePath(), path);
+  {
+    MutexLock lock(GlobalObsMutex());
+    EXPECT_EQ(TracePath(), path);
+  }
   ASSERT_NE(GlobalTraceSinkIfEnabled(), nullptr);
   DisableTracing();
   EXPECT_FALSE(TracingEnabled());
@@ -258,8 +265,12 @@ TEST_F(TracedExecutionTest, ExplicitSinkCollectsSpansWithNodeIds) {
   Result<PhysicalPlan> compiled = PhysicalPlan::Compile(q, plan, db_);
   ASSERT_TRUE(compiled.ok());
 
-  GlobalMetrics().Clear();
-  const MetricsSnapshot before = GlobalMetrics().Snapshot();
+  MetricsSnapshot before;
+  {
+    MutexLock lock(GlobalObsMutex());
+    GlobalMetrics().Clear();
+    before = GlobalMetrics().Snapshot();
+  }
   TraceSink sink;
   ExecutionResult traced = compiled->Execute(kCounterMax, &sink);
   ASSERT_TRUE(traced.status.ok());
@@ -280,8 +291,12 @@ TEST_F(TracedExecutionTest, ExplicitSinkCollectsSpansWithNodeIds) {
 
   // The traced run published its stats: the registry delta reconstructs
   // exactly the run's ExecStats (the "view" contract).
-  const MetricsSnapshot delta =
-      DeltaSince(before, GlobalMetrics().Snapshot());
+  MetricsSnapshot after;
+  {
+    MutexLock lock(GlobalObsMutex());
+    after = GlobalMetrics().Snapshot();
+  }
+  const MetricsSnapshot delta = DeltaSince(before, after);
   const ExecStats back = ExecStatsFromDelta(delta);
   EXPECT_EQ(back.tuples_produced, traced.stats.tuples_produced);
   EXPECT_EQ(back.num_joins, traced.stats.num_joins);

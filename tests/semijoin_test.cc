@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/strategies.h"
 #include "encode/kcolor.h"
@@ -136,7 +137,11 @@ TEST(SemijoinPassTest, ReportedCountMatchesKernelSpansWhenTraced) {
   TraceSink* sink = GlobalTraceSinkIfEnabled();
   ASSERT_NE(sink, nullptr);
   const uint64_t mark = sink->total_recorded();
-  const MetricsSnapshot before = GlobalMetrics().Snapshot();
+  MetricsSnapshot before;
+  {
+    MutexLock lock(GlobalObsMutex());
+    before = GlobalMetrics().Snapshot();
+  }
 
   SemijoinPassResult result = SemijoinReduce(q, db);
   ASSERT_TRUE(result.status.ok());
@@ -145,8 +150,12 @@ TEST(SemijoinPassTest, ReportedCountMatchesKernelSpansWhenTraced) {
   for (const TraceSpan& span : sink->SnapshotSince(mark)) {
     if (span.op == TraceOp::kSemiJoin) ++spans;
   }
-  const MetricsSnapshot delta =
-      DeltaSince(before, GlobalMetrics().Snapshot());
+  MetricsSnapshot after;
+  {
+    MutexLock lock(GlobalObsMutex());
+    after = GlobalMetrics().Snapshot();
+  }
+  const MetricsSnapshot delta = DeltaSince(before, after);
   DisableTracing();
   std::remove(path.c_str());
   std::remove((path + ".metrics.jsonl").c_str());

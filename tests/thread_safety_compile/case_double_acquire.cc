@@ -1,0 +1,37 @@
+// Seeded violation: re-acquiring a non-recursive mutex already held on
+// this thread — guaranteed deadlock at runtime with std::mutex, caught
+// at compile time by the capability analysis ("acquiring mutex 'mu_'
+// that is already held"). The buggy shape is a public locked method
+// calling another public locked method instead of the *Locked helper.
+#include "common/mutex.h"
+
+namespace {
+
+class Store {
+ public:
+  void Set(int v) {
+    ppr::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  void Reset() {
+    ppr::MutexLock lock(mu_);
+#ifdef PPR_TSA_FIXED
+    value_ = 0;
+#else
+    Set(0);  // deadlock: Set() locks mu_ again
+#endif
+  }
+
+ private:
+  ppr::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  s.Reset();
+  return 0;
+}

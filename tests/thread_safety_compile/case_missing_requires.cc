@@ -1,0 +1,34 @@
+// Seeded violation: a locked-section helper without REQUIRES(mu_). The
+// caller does hold the lock, but the helper's signature doesn't demand
+// it, so (a) the helper's own guarded accesses are flagged and (b) any
+// future caller could invoke it unlocked without complaint. This is the
+// PlanCache shard idiom: every *Locked() helper must carry REQUIRES.
+#include "common/mutex.h"
+
+namespace {
+
+class Tally {
+ public:
+  void Add(int v) {
+    ppr::MutexLock lock(mu_);
+    AddLocked(v);
+  }
+
+ private:
+#ifdef PPR_TSA_FIXED
+  void AddLocked(int v) REQUIRES(mu_) { total_ += v; }
+#else
+  void AddLocked(int v) { total_ += v; }
+#endif
+
+  ppr::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally t;
+  t.Add(3);
+  return 0;
+}

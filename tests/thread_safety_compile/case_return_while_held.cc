@@ -1,0 +1,41 @@
+// Seeded violation: a manual Lock()/Unlock() pair with an early return
+// that leaks the lock — every later caller of Snapshot() then deadlocks.
+// The analysis reports "mutex 'mu_' is still held at the end of
+// function". The fix (and the house style) is a MutexLock scope, which
+// cannot leak.
+#include "common/mutex.h"
+
+namespace {
+
+class Gauge {
+ public:
+  void Bump() {
+    ppr::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Snapshot() {
+#ifdef PPR_TSA_FIXED
+    ppr::MutexLock lock(mu_);
+    return value_;
+#else
+    mu_.Lock();
+    if (value_ < 0) return 0;  // early return leaks the lock
+    int v = value_;
+    mu_.Unlock();
+    return v;
+#endif
+  }
+
+ private:
+  ppr::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Gauge g;
+  g.Bump();
+  return g.Snapshot() == 1 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Seeded violation: writing a GUARDED_BY field without holding its
+// mutex. This is the exact shape of the pre-annotation BoundedQueue /
+// ThreadPool counters — a data race the old comment-only contract could
+// not catch. Expected diagnostic: "writing variable 'count_' requires
+// holding mutex 'mu_' exclusively".
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+#ifdef PPR_TSA_FIXED
+    ppr::MutexLock lock(mu_);
+#endif
+    ++count_;
+  }
+
+  int Value() {
+    ppr::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  ppr::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Value();
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the thread-safety annotations.
+
+Each case_*.cc in this directory seeds one concurrency bug that the
+Clang analysis must reject:
+
+  - compiled plain, the file MUST fail with a thread-safety diagnostic
+    (proves the annotations in common/mutex.h actually detect the bug);
+  - compiled with -DPPR_TSA_FIXED (which switches in the corrected
+    code), the same file MUST build cleanly (proves the failure is the
+    seeded bug, not a false positive elsewhere).
+
+Exits 0 if every case behaves both ways, 1 on any mismatch, and 77
+(the ctest SKIP_RETURN_CODE) when no Clang is available — gcc accepts
+the attributes but runs no analysis, so there is nothing to test.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+SKIP = 77
+
+
+def find_clang(candidates):
+    for compiler in candidates:
+        if not compiler:
+            continue
+        try:
+            probe = subprocess.run([compiler, "--version"],
+                                   capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if probe.returncode == 0 and "clang" in probe.stdout.lower():
+            return compiler
+    return None
+
+
+def compile_case(compiler, src_root, path, fixed):
+    cmd = [
+        compiler, "-std=c++20", "-fsyntax-only",
+        "-Wthread-safety", "-Werror=thread-safety",
+        "-I", os.path.join(src_root, "src"), path,
+    ]
+    if fixed:
+        cmd.insert(-1, "-DPPR_TSA_FIXED")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--source-root", required=True,
+                        help="repo root (for -I <root>/src)")
+    parser.add_argument("--compiler", action="append", default=[],
+                        help="compiler candidates; first Clang wins")
+    args = parser.parse_args()
+
+    compiler = find_clang(args.compiler + ["clang++"])
+    if compiler is None:
+        print("thread_safety_compile_test: SKIP - no clang++ available "
+              "(the analysis is clang-only)")
+        return SKIP
+
+    case_dir = os.path.dirname(os.path.abspath(__file__))
+    cases = sorted(f for f in os.listdir(case_dir)
+                   if f.startswith("case_") and f.endswith(".cc"))
+    if not cases:
+        print("thread_safety_compile_test: no case_*.cc files found")
+        return 1
+
+    failures = 0
+    for name in cases:
+        path = os.path.join(case_dir, name)
+        rc_plain, err_plain = compile_case(compiler, args.source_root, path,
+                                           fixed=False)
+        rc_fixed, err_fixed = compile_case(compiler, args.source_root, path,
+                                           fixed=True)
+        ok = True
+        if rc_plain == 0:
+            print(f"FAIL {name}: seeded violation was NOT rejected")
+            ok = False
+        elif "thread-safety" not in err_plain:
+            print(f"FAIL {name}: rejected, but not by the thread-safety "
+                  f"analysis:\n{err_plain.strip()}")
+            ok = False
+        if rc_fixed != 0:
+            print(f"FAIL {name}: fixed variant (-DPPR_TSA_FIXED) does not "
+                  f"build:\n{err_fixed.strip()}")
+            ok = False
+        if ok:
+            diag = next((line for line in err_plain.splitlines()
+                         if "thread-safety" in line), "").strip()
+            print(f"PASS {name}: rejected plain, builds fixed")
+            if diag:
+                print(f"     {diag}")
+        else:
+            failures += 1
+
+    print(f"{len(cases) - failures}/{len(cases)} cases behaved correctly "
+          f"under {compiler}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
