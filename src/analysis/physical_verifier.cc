@@ -1,8 +1,13 @@
 #include "analysis/physical_verifier.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 #include <string>
 #include <vector>
+
+#include "analysis/width_analyzer.h"
+#include "exec/verify_hook.h"
 
 namespace ppr {
 namespace {
@@ -237,6 +242,62 @@ Status VerifyNode(const ConjunctiveQuery& query, const PlanNode* logical,
   return Status::Ok();
 }
 
+// Batch-schema shape of one plan node, re-derived from the logical
+// labels alone (first principles, like VerifyNode): which operator
+// arities a columnar run may legally report against this node.
+struct MorselNodeShape {
+  bool leaf = false;
+  int scan_arity = 0;             // leaf: the atom's distinct attributes
+  std::vector<int> join_arities;  // internal: fold joins, left to right
+  bool projects = false;
+  int project_arity = 0;
+  std::vector<AttrId> out_attrs;  // output label, sorted
+};
+
+// Fills `shapes` in the pre-order numbering shared with MorselOpAccount
+// node ids (root = 0, node before its children, children left to right).
+void DeriveShapes(const ConjunctiveQuery& query, const PlanNode* node,
+                  std::vector<MorselNodeShape>* shapes) {
+  const size_t my_index = shapes->size();
+  shapes->push_back(MorselNodeShape{});
+  std::vector<AttrId> out;
+  if (node->IsLeaf()) {
+    const Atom& atom = query.atoms()[static_cast<size_t>(node->atom_index)];
+    (*shapes)[my_index].leaf = true;
+    (*shapes)[my_index].scan_arity =
+        static_cast<int>(atom.DistinctAttrs().size());
+    out = node->working;
+    std::sort(out.begin(), out.end());
+  } else {
+    bool first = true;
+    for (const auto& child : node->children) {
+      const size_t child_index = shapes->size();
+      DeriveShapes(query, child.get(), shapes);
+      const std::vector<AttrId>& child_out =
+          (*shapes)[child_index].out_attrs;
+      if (first) {
+        out = child_out;
+        first = false;
+      } else {
+        std::vector<AttrId> merged;
+        std::set_union(out.begin(), out.end(), child_out.begin(),
+                       child_out.end(), std::back_inserter(merged));
+        out = std::move(merged);
+        (*shapes)[my_index].join_arities.push_back(
+            static_cast<int>(out.size()));
+      }
+    }
+  }
+  if (node->Projects()) {
+    (*shapes)[my_index].projects = true;
+    (*shapes)[my_index].project_arity =
+        static_cast<int>(node->projected.size());
+    out = node->projected;
+    std::sort(out.begin(), out.end());
+  }
+  (*shapes)[my_index].out_attrs = std::move(out);
+}
+
 }  // namespace
 
 Status VerifyPhysicalPlan(const ConjunctiveQuery& query, const Plan& plan,
@@ -245,6 +306,114 @@ Status VerifyPhysicalPlan(const ConjunctiveQuery& query, const Plan& plan,
     return Status::InvalidArgument("empty logical plan");
   }
   return VerifyNode(query, plan.root(), physical.root(), db);
+}
+
+Status VerifyMorselAccounting(const ConjunctiveQuery& query, const Plan& plan,
+                              const Database& db,
+                              const MorselAccounting& accounting) {
+  if (plan.empty()) {
+    return Status::InvalidArgument("empty logical plan");
+  }
+  std::vector<MorselNodeShape> shapes;
+  shapes.reserve(static_cast<size_t>(plan.NumNodes()));
+  DeriveShapes(query, plan.root(), &shapes);
+
+  // Static per-node bounds; when the analyzer cannot produce them the
+  // schema/accounting checks still run, just without the bound gate.
+  std::vector<PlanNodeBound> bounds;
+  const Status bound_status = NodeBoundsPreOrder(query, plan, db, &bounds);
+  const bool have_bounds =
+      bound_status.ok() && bounds.size() == shapes.size();
+
+  for (size_t i = 0; i < accounting.ops.size(); ++i) {
+    const MorselOpAccount& op = accounting.ops[i];
+    const std::string where = "morsel account " + std::to_string(i) +
+                              " (node " + std::to_string(op.node_id) +
+                              "): ";
+    if (op.node_id < 0 ||
+        static_cast<size_t>(op.node_id) >= shapes.size()) {
+      return Status::InvalidArgument(where + "node id out of range");
+    }
+    const MorselNodeShape& shape =
+        shapes[static_cast<size_t>(op.node_id)];
+
+    // Row accounting: non-negative per-morsel counts summing to exactly
+    // the rows the operator materialized. A mismatch means morsels were
+    // dropped, double-counted, or merged against the wrong operator.
+    int64_t sum = 0;
+    for (const int64_t rows : op.morsel_rows) {
+      if (rows < 0) {
+        return Status::InvalidArgument(where +
+                                       "negative morsel row count");
+      }
+      sum += rows;
+    }
+    if (sum != op.output_rows) {
+      return Status::InvalidArgument(
+          where + "morsel rows sum to " + std::to_string(sum) + " but " +
+          std::to_string(op.output_rows) + " rows were materialized");
+    }
+
+    // Batch schema: the reported arity must be one the logical labels
+    // imply for this node and operator kind.
+    switch (op.op) {
+      case MorselOp::kScan:
+        if (!shape.leaf) {
+          return Status::InvalidArgument(where + "scan on a join node");
+        }
+        if (op.arity != shape.scan_arity) {
+          return Status::InvalidArgument(
+              where + "scan arity " + std::to_string(op.arity) +
+              " != atom's distinct-attribute count " +
+              std::to_string(shape.scan_arity));
+        }
+        break;
+      case MorselOp::kJoin:
+        if (shape.leaf) {
+          return Status::InvalidArgument(where + "join on a leaf node");
+        }
+        if (std::find(shape.join_arities.begin(),
+                      shape.join_arities.end(),
+                      op.arity) == shape.join_arities.end()) {
+          return Status::InvalidArgument(
+              where + "join arity " + std::to_string(op.arity) +
+              " matches no fold step of the node's child labels");
+        }
+        break;
+      case MorselOp::kProject:
+        if (!shape.projects) {
+          return Status::InvalidArgument(
+              where + "projection on a non-projecting node");
+        }
+        if (op.arity != shape.project_arity) {
+          return Status::InvalidArgument(
+              where + "projection arity " + std::to_string(op.arity) +
+              " != projected-label arity " +
+              std::to_string(shape.project_arity));
+        }
+        break;
+    }
+
+    // Static bounds: a reported output above the analyzer's per-node
+    // bound means the proof, or the kernel's accounting, is wrong.
+    if (have_bounds) {
+      const PlanNodeBound& bound =
+          bounds[static_cast<size_t>(op.node_id)];
+      if (bound.arity_bound != PlanNodeBound::kUnbounded &&
+          op.arity > bound.arity_bound) {
+        return Status::Internal(
+            where + "arity " + std::to_string(op.arity) +
+            " exceeds static bound " + std::to_string(bound.arity_bound));
+      }
+      if (std::isfinite(bound.rows_bound) &&
+          static_cast<double>(op.output_rows) > bound.rows_bound) {
+        return Status::Internal(
+            where + "output rows " + std::to_string(op.output_rows) +
+            " exceed static bound " + std::to_string(bound.rows_bound));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace ppr

@@ -35,6 +35,35 @@ namespace ppr {
 Status VerifyPhysicalPlan(const ConjunctiveQuery& query, const Plan& plan,
                           const Database& db, const PhysicalPlan& physical);
 
+/// Post-run verifier for morsel-driven columnar execution: checks the
+/// per-operator accounting a columnar run reported (one MorselOpAccount
+/// per kernel invocation, exec/physical_plan.h) against the logical plan
+/// and the width analyzer's static bounds. Like VerifyPhysicalPlan it
+/// re-derives everything from first principles — batch schema arities
+/// come from the logical labels, never from the compiled specs — so a
+/// kernel that partitioned, merged, or counted wrongly is caught rather
+/// than trusted. Rejects:
+///  - a node id outside the plan's pre-order numbering;
+///  - row-accounting damage: a negative per-morsel row count, or morsel
+///    counts that do not sum to the rows the operator materialized
+///    (morsels dropped, double-counted, or merged out of order);
+///  - batch-schema drift: a scan on a non-leaf, a join or projection
+///    whose reported arity differs from the arity the logical labels
+///    imply for that node (scans emit the atom's distinct attributes,
+///    fold joins the running union of child output labels, projections
+///    the projected label);
+///  - bound violations: an operator arity above the node's static arity
+///    bound, or materialized rows above a finite static row bound
+///    (NodeBoundsPreOrder) — meaning the analyzer's proof is wrong.
+///
+/// Sound under budget truncation: a truncated run executes a prefix of
+/// the operators and materializes fewer rows, both of which still pass.
+/// This is the `morsel_accounting` hook (exec/verify_hook.h) the runtime
+/// morsel driver invokes after a verified run.
+Status VerifyMorselAccounting(const ConjunctiveQuery& query, const Plan& plan,
+                              const Database& db,
+                              const MorselAccounting& accounting);
+
 }  // namespace ppr
 
 #endif  // PPR_ANALYSIS_PHYSICAL_VERIFIER_H_

@@ -74,6 +74,11 @@ void InstallPlanVerifier(bool enable) {
                          std::vector<PlanNodeBound>* bounds) {
     return NodeBoundsPreOrder(query, plan, db, bounds);
   };
+  hooks.morsel_accounting = [](const ConjunctiveQuery& query,
+                               const Plan& plan, const Database& db,
+                               const MorselAccounting& accounting) {
+    return VerifyMorselAccounting(query, plan, db, accounting);
+  };
   SetPlanVerifierHooks(std::move(hooks));
   if (enable) EnablePlanVerification(true);
 }

@@ -27,6 +27,14 @@ struct EnvConfig {
   /// thread-scaling bench harness; 0 means "unset" (callers pick their
   /// own default, typically 1 or hardware_concurrency).
   int default_threads = 0;
+
+  /// PPR_MORSEL_SIZE: rows per morsel for the columnar batch kernels
+  /// (relational/batch_ops.h) and the morsel driver (src/runtime).
+  /// Defaults to 64K rows — a probe-side morsel of that size keeps the
+  /// gathered key columns L2-resident on common hardware. The morsel
+  /// partition is a *semantic* knob only for performance: results and
+  /// merged metrics are byte-identical for any positive value.
+  int64_t morsel_rows = 65536;
 };
 
 /// The once-initialized environment snapshot. First call reads the

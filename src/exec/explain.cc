@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "exec/verify_hook.h"
 #include "obs/trace.h"
+#include "relational/batch_ops.h"
 #include "relational/exec_context.h"
 #include "relational/ops.h"
 
@@ -36,11 +37,12 @@ double EstimateRows(const Estimate& est, size_t projected_arity,
 }
 
 // Recursive profiled evaluation; appends this node's profile (pre-order)
-// and returns its output relation plus estimation state.
+// and returns its output relation plus estimation state. A non-null
+// `mx` routes every kernel through its columnar batch variant.
 Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
                       const Database& db, double domain, int depth,
-                      ExecContext& ctx, std::vector<NodeProfile>* out,
-                      Estimate* est) {
+                      ExecContext& ctx, const MorselExec* mx,
+                      std::vector<NodeProfile>* out, Estimate* est) {
   const size_t my_index = out->size();
   out->push_back(NodeProfile{});
 
@@ -56,9 +58,12 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
     est->selectivity =
         static_cast<double>(stored->size()) /
         std::pow(domain, static_cast<double>(atom.args.size()));
-    result = BindAtom(*stored, atom.args, ctx);
+    result = mx != nullptr ? BindAtomColumnar(*stored, atom.args, ctx, *mx)
+                           : BindAtom(*stored, atom.args, ctx);
     if (node->Projects() && !ctx.exhausted()) {
-      result = Project(result, node->projected, ctx);
+      result = mx != nullptr
+                   ? ProjectColumnar(result, node->projected, ctx, *mx)
+                   : Project(result, node->projected, ctx);
     }
     (*out)[my_index].label = atom.ToString();
   } else {
@@ -69,7 +74,7 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
       if (ctx.exhausted()) break;
       Estimate child_est;
       Relation child_rel = EvalProfiled(query, child.get(), db, domain,
-                                        depth + 1, ctx, out, &child_est);
+                                        depth + 1, ctx, mx, out, &child_est);
       if (first) {
         acc = std::move(child_rel);
         acc_est = std::move(child_est);
@@ -77,7 +82,8 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
       } else {
         if (ctx.exhausted()) break;
         ctx.set_trace_node(static_cast<int32_t>(my_index));
-        acc = NaturalJoin(acc, child_rel, ctx);
+        acc = mx != nullptr ? NaturalJoinColumnar(acc, child_rel, ctx, *mx)
+                            : NaturalJoin(acc, child_rel, ctx);
         std::vector<AttrId> merged;
         std::set_union(acc_est.attrs.begin(), acc_est.attrs.end(),
                        child_est.attrs.begin(), child_est.attrs.end(),
@@ -88,7 +94,8 @@ Relation EvalProfiled(const ConjunctiveQuery& query, const PlanNode* node,
     }
     if (node->Projects() && !ctx.exhausted()) {
       ctx.set_trace_node(static_cast<int32_t>(my_index));
-      acc = Project(acc, node->projected, ctx);
+      acc = mx != nullptr ? ProjectColumnar(acc, node->projected, ctx, *mx)
+                          : Project(acc, node->projected, ctx);
     }
     result = std::move(acc);
     *est = std::move(acc_est);
@@ -121,6 +128,7 @@ std::string ExplainResult::ToString() const {
         out << "  predicted arity<=" << p.predicted_arity_bound
             << " rows<=" << p.predicted_rows_bound;
       }
+      if (p.morsel_fanout > 0) out << " morsels=" << p.morsel_fanout;
       if (p.arity_violation) out << "  !! arity bound violated";
     }
     out << "\n";
@@ -151,7 +159,7 @@ double ExplainResult::WorstEstimateRatio() const {
 
 ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
                           const Database& db, double domain_size,
-                          Counter tuple_budget, bool analyze) {
+                          Counter tuple_budget, bool analyze, bool columnar) {
   ExplainResult result;
   PPR_CHECK(domain_size >= 1.0);
   if (plan.empty()) {
@@ -184,9 +192,10 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   TraceSink sink(static_cast<size_t>(
       std::max(4 * plan.NumNodes(), 1024)));
   if (analyze) ctx.set_tracer(&sink);
+  const MorselExec mx;  // inline, sequential, env-default morsel size
   Estimate est;
-  EvalProfiled(query, plan.root(), db, domain_size, 0, ctx, &result.nodes,
-               &est);
+  EvalProfiled(query, plan.root(), db, domain_size, 0, ctx,
+               columnar ? &mx : nullptr, &result.nodes, &est);
   result.stats = ctx.stats();
   if (ctx.exhausted()) {
     result.status = Status::ResourceExhausted("tuple budget exceeded");
@@ -203,6 +212,7 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
     p.actual_ns += span.duration_ns;
     p.actual_bytes = std::max(p.actual_bytes, span.bytes);
     p.actual_max_arity = std::max(p.actual_max_arity, span.arity_out);
+    if (span.morsel_id >= 0) p.morsel_fanout++;
   }
 
   // The predicted side: the width analyzer's per-node bounds, via the

@@ -11,6 +11,7 @@
 #include "core/plan.h"
 #include "exec/executor.h"
 #include "query/conjunctive_query.h"
+#include "relational/batch_ops.h"
 #include "relational/database.h"
 #include "relational/ops.h"
 #include "relational/relation.h"
@@ -51,6 +52,37 @@ struct PhysicalNode {
   Schema output_schema;
 
   bool IsLeaf() const { return children.empty(); }
+};
+
+/// Operator kinds appearing in a columnar run's morsel accounting.
+/// Mirrors the four kernels without pulling the obs tracing types into
+/// the execution API.
+enum class MorselOp : uint8_t { kScan = 0, kJoin = 1, kProject = 2 };
+
+/// Row accounting of one columnar kernel invocation: the per-morsel
+/// emitted row counts (morsel-index order) and the output they add up
+/// to. The invariant every entry must satisfy — sum(morsel_rows) ==
+/// output_rows — is what the `morsel_accounting` verifier hook
+/// (exec/verify_hook.h) checks against the width analyzer's static
+/// bounds after a morsel-driven run.
+struct MorselOpAccount {
+  /// Pre-order plan-node id the operator ran for.
+  int32_t node_id = -1;
+  MorselOp op = MorselOp::kScan;
+  /// Output arity of the operator (its batch schema width).
+  int arity = 0;
+  /// Output rows materialized (post budget truncation).
+  int64_t output_rows = 0;
+  /// Rows each morsel contributed, in morsel-index order. Degenerate
+  /// operators that bypass the morsel partition (nullary schemas,
+  /// sort-merge joins, Boolean projections) report one pseudo morsel
+  /// holding the whole output, or none when the output is empty.
+  std::vector<int64_t> morsel_rows;
+};
+
+/// Per-operator accounting of one columnar run, in execution order.
+struct MorselAccounting {
+  std::vector<MorselOpAccount> ops;
 };
 
 /// A plan compiled once against (query, plan, database) and executable
@@ -110,6 +142,30 @@ class PhysicalPlan {
                                 Counter tuple_budget = kCounterMax,
                                 TraceSink* trace = nullptr,
                                 MetricsRegistry* metrics = nullptr) const;
+
+  /// Columnar execution through the batch kernels of
+  /// relational/batch_ops.h, inline on the calling thread (a default
+  /// MorselExec). Oracle-equal to Execute(): same answer relation, same
+  /// ExecStats except peak_bytes, same budget behavior. Observability
+  /// resolution matches Execute() (explicit sink, else PPR_TRACE).
+  ExecutionResult ExecuteColumnar(Counter tuple_budget = kCounterMax,
+                                  TraceSink* trace = nullptr);
+
+  /// Morsel-driven columnar execution — the ExecuteShared of the batch
+  /// world, with the same caller-owned arena/trace/metrics design, plus
+  /// the MorselExec that decides how morsels run (the morsel driver of
+  /// src/runtime installs a ThreadPool-backed parallel_for and
+  /// per-worker arenas; the default runs inline). For a fixed morsel
+  /// size the answer relation and every merged statistic are
+  /// byte-identical across worker counts. When `accounting` is non-null
+  /// it receives one MorselOpAccount per kernel invocation, in
+  /// execution order, for the morsel-accounting verifier hook and the
+  /// EXPLAIN ANALYZE fan-out report.
+  ExecutionResult ExecuteMorsel(const MorselExec& mx, ExecArena* arena,
+                                Counter tuple_budget = kCounterMax,
+                                TraceSink* trace = nullptr,
+                                MetricsRegistry* metrics = nullptr,
+                                MorselAccounting* accounting = nullptr) const;
 
   /// Schema of the answer relation (the root's projected label).
   const Schema& output_schema() const { return root_->output_schema; }

@@ -14,6 +14,7 @@
 namespace ppr {
 
 class PhysicalPlan;
+struct MorselAccounting;
 
 /// Static bounds the width analyzer proves for one plan node, in the
 /// shared pre-order numbering (root = 0, node before its children,
@@ -50,6 +51,15 @@ struct PlanVerifierHooks {
   std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
                        std::vector<PlanNodeBound>*)>
       node_bounds;
+  /// Validates the per-operator morsel accounting of one columnar run
+  /// (exec/physical_plan.h's MorselAccounting): re-derives the batch
+  /// schemas from the logical plan, checks each operator's per-morsel
+  /// rows sum to its output, and checks outputs against the width
+  /// analyzer's static bounds. The morsel driver (src/runtime) calls it
+  /// after every morsel-driven run while verification is enabled.
+  std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
+                       const MorselAccounting&)>
+      morsel_accounting;
 };
 
 /// Installs the hooks (replacing any previous ones). Safe to call while

@@ -55,6 +55,14 @@ struct TraceSpan {
   /// Lookup operations against the hash structure (join probe passes,
   /// semijoin membership tests). 0 for operators without a probe phase.
   int64_t ht_probe_ops = 0;
+  /// Morsel index when the span covers one morsel of a columnar
+  /// batch-at-a-time operator (relational/batch_ops.h); -1 for whole
+  /// operator spans (the row kernels). Per-morsel spans from one
+  /// operator are merged into the run's sink in morsel-index order.
+  int32_t morsel_id = -1;
+  /// Column batches processed by the span (0 for row-kernel spans, 1 for
+  /// per-morsel columnar spans — each morsel is one ColumnBatch wide).
+  int64_t batches = 0;
 };
 
 /// Fixed-capacity ring buffer of spans. Recording never allocates once

@@ -1,0 +1,148 @@
+#ifndef PPR_RELATIONAL_COLUMN_BATCH_H_
+#define PPR_RELATIONAL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/arena.h"
+#include "common/check.h"
+#include "common/types.h"
+#include "relational/relation.h"
+
+namespace ppr {
+
+/// Fixed-capacity, arena-backed, column-major batch of values — the unit
+/// the columnar kernels (relational/batch_ops.h) move through the plan.
+///
+/// Layout: `arity` value vectors of `capacity` entries each, allocated
+/// contiguously from one arena span, plus a selection vector of row
+/// indices. A kernel gathers a morsel of input rows column by column
+/// (strided reads, contiguous writes — the loop the compiler can
+/// vectorize), filters by refining the selection vector without moving
+/// any data, and scatters the surviving rows back out row-major.
+///
+/// Ownership: all storage comes from the constructor's arena and is
+/// released by the enclosing ArenaScope; a batch is a transient view of
+/// one morsel, never a container that outlives its operator. Like the
+/// arena itself, a batch is strictly single-thread: concurrent morsels
+/// each build their own batch from their worker's arena.
+class ColumnBatch {
+ public:
+  /// A batch for `arity` columns of up to `capacity` rows; all storage
+  /// is allocated from `arena` immediately (uninitialized values, full
+  /// identity selection).
+  ColumnBatch(int arity, int64_t capacity, ExecArena& arena)
+      : arity_(arity), capacity_(capacity) {
+    PPR_DCHECK(arity >= 0 && capacity >= 0);
+    values_ = arena.AllocSpan<Value>(static_cast<int64_t>(arity) * capacity);
+    selection_ = arena.AllocSpan<int32_t>(capacity);
+    num_rows_ = 0;
+    num_selected_ = 0;
+  }
+
+  int arity() const { return arity_; }
+  int64_t capacity() const { return capacity_; }
+
+  /// Rows gathered into the batch so far.
+  int64_t num_rows() const { return num_rows_; }
+  void set_num_rows(int64_t rows) {
+    PPR_DCHECK(rows >= 0 && rows <= capacity_);
+    num_rows_ = rows;
+  }
+
+  /// Contiguous storage of column `c` (capacity entries; the first
+  /// num_rows() are meaningful).
+  Value* column(int c) {
+    PPR_DCHECK(c >= 0 && c < arity_);
+    return values_.data() + static_cast<int64_t>(c) * capacity_;
+  }
+  const Value* column(int c) const {
+    PPR_DCHECK(c >= 0 && c < arity_);
+    return values_.data() + static_cast<int64_t>(c) * capacity_;
+  }
+
+  /// Selection vector: indices (ascending) of the rows still alive after
+  /// filtering. Kernels write it directly and then SetSelected(count).
+  int32_t* selection() { return selection_.data(); }
+  const int32_t* selection() const { return selection_.data(); }
+  int64_t num_selected() const { return num_selected_; }
+  void SetSelected(int64_t count) {
+    PPR_DCHECK(count >= 0 && count <= num_rows_);
+    num_selected_ = count;
+  }
+
+  /// Resets the selection to the identity over num_rows() (every row
+  /// alive) — the state after a gather with no predicate.
+  void SelectAll() {
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      selection_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+    }
+    num_selected_ = num_rows_;
+  }
+
+  /// Gathers rows [begin, begin + count) of a row-major store with
+  /// `row_stride` values per row into the batch: column `c` of the batch
+  /// receives source column `source_cols[c]`. Strided reads, contiguous
+  /// writes, one tight loop per column. Resets the selection to identity.
+  void GatherRows(const Value* base, int row_stride, int64_t begin,
+                  int64_t count, const int* source_cols) {
+    PPR_DCHECK(count <= capacity_);
+    for (int c = 0; c < arity_; ++c) {
+      const Value* src = base + begin * row_stride + source_cols[c];
+      Value* dst = column(c);
+      for (int64_t i = 0; i < count; ++i) {
+        dst[i] = src[i * row_stride];
+      }
+    }
+    num_rows_ = count;
+    SelectAll();
+  }
+
+  /// Row-at-a-time append of one tuple (arity() values) — the slow-path
+  /// adapter between row producers and the batch world. Kernels must not
+  /// use this in hot loops; tools/pprlint flags EmitTuple outside the
+  /// batch adapters for exactly that reason.
+  void EmitTuple(const Value* tuple) {
+    PPR_DCHECK(num_rows_ < capacity_);
+    for (int c = 0; c < arity_; ++c) {
+      column(c)[num_rows_] = tuple[c];
+    }
+    selection_[static_cast<size_t>(num_selected_++)] =
+        static_cast<int32_t>(num_rows_++);
+  }
+
+  /// Scatters the selected rows row-major into `dst` (which must hold
+  /// num_selected() * arity() values). The inverse of GatherRows —
+  /// contiguous reads per column, strided writes — and the adapter
+  /// toward row-major consumers: Relation storage and the flat hash
+  /// tables' packed row-major keys.
+  void ScatterSelectedTo(Value* dst) const { ScatterSelectedTo(dst, arity_); }
+
+  /// Same, but scatters only the first `num_cols` columns with row stride
+  /// `num_cols`. Kernels gather predicate-only columns past the output
+  /// columns (scan's repeated-attribute checks), filter on them, then
+  /// scatter just the output prefix.
+  void ScatterSelectedTo(Value* dst, int num_cols) const {
+    PPR_DCHECK(num_cols >= 0 && num_cols <= arity_);
+    const int64_t n = num_selected_;
+    for (int c = 0; c < num_cols; ++c) {
+      const Value* src = column(c);
+      Value* out = dst + c;
+      for (int64_t i = 0; i < n; ++i) {
+        out[i * num_cols] = src[selection_[static_cast<size_t>(i)]];
+      }
+    }
+  }
+
+ private:
+  int arity_;
+  int64_t capacity_;
+  std::span<Value> values_;      // arity_ * capacity_, column-major
+  std::span<int32_t> selection_;  // capacity_ row indices
+  int64_t num_rows_ = 0;
+  int64_t num_selected_ = 0;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_RELATIONAL_COLUMN_BATCH_H_

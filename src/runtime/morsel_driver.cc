@@ -1,0 +1,92 @@
+#include "runtime/morsel_driver.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "exec/verify_hook.h"
+#include "obs/trace.h"
+
+namespace ppr {
+
+MorselDriver::MorselDriver(MorselDriverOptions options)
+    : options_(options) {
+  num_threads_ = options_.num_threads;
+  if (num_threads_ <= 0) {
+    num_threads_ = ProcessEnv().default_threads > 0
+                       ? ProcessEnv().default_threads
+                       : ThreadPool::HardwareThreads();
+  }
+  worker_arenas_.reserve(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    worker_arenas_.push_back(std::make_unique<ExecArena>());
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+int64_t MorselDriver::morsel_rows() const {
+  return options_.morsel_rows > 0 ? options_.morsel_rows
+                                  : ProcessEnv().morsel_rows;
+}
+
+MorselExec MorselDriver::PrepareExec() {
+  MorselExec mx;
+  mx.morsel_rows = options_.morsel_rows;
+  mx.num_workers = num_threads_;
+  mx.worker_arenas.reserve(worker_arenas_.size());
+  for (const auto& arena : worker_arenas_) {
+    arena->Reset();
+    mx.worker_arenas.push_back(arena.get());
+  }
+  if (pool_ != nullptr) {
+    ThreadPool* pool = pool_.get();
+    mx.parallel_for = [pool](int64_t count,
+                             const std::function<void(int64_t, int)>& body) {
+      // `body` outlives Wait(): the kernels block in ForEachMorsel until
+      // every morsel finished, so capturing it by reference is safe.
+      for (int64_t m = 0; m < count; ++m) {
+        pool->Submit([m, &body](int worker) { body(m, worker); });
+      }
+      pool->Wait();
+    };
+  }
+  return mx;
+}
+
+ExecutionResult MorselDriver::Run(const PhysicalPlan& plan,
+                                  Counter tuple_budget, TraceSink* trace,
+                                  MetricsRegistry* metrics,
+                                  const MorselQueryContext* verify_ctx,
+                                  MorselAccounting* accounting) {
+  // Force lazily-initialized process-wide state on this thread before
+  // any worker touches it (the BatchExecutor::Run pattern).
+  (void)ProcessEnv();
+  (void)TracingEnabled();
+  const bool verification_on = PlanVerificationEnabled();
+  const std::shared_ptr<const PlanVerifierHooks> hooks =
+      GetPlanVerifierHooks();
+
+  const bool verify = verify_ctx != nullptr && verification_on &&
+                      hooks->morsel_accounting != nullptr;
+  MorselAccounting local_accounting;
+  MorselAccounting* acct = accounting;
+  if (acct == nullptr && verify) acct = &local_accounting;
+
+  const MorselExec mx = PrepareExec();
+  ExecutionResult result = plan.ExecuteMorsel(mx, &control_arena_,
+                                              tuple_budget, trace, metrics,
+                                              acct);
+  if (verify) {
+    PPR_CHECK(verify_ctx->query != nullptr && verify_ctx->plan != nullptr &&
+              verify_ctx->db != nullptr);
+    Status verdict = hooks->morsel_accounting(
+        *verify_ctx->query, *verify_ctx->plan, *verify_ctx->db, *acct);
+    if (!verdict.ok()) result.status = std::move(verdict);
+  }
+  return result;
+}
+
+}  // namespace ppr

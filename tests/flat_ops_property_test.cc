@@ -10,7 +10,10 @@
 #include <set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
+#include "relational/batch_ops.h"
+#include "relational/column_batch.h"
 #include "relational/exec_context.h"
 #include "relational/ops.h"
 #include "relational/sort_merge.h"
@@ -209,6 +212,228 @@ TEST(FlatOpsPropertyTest, BindAtomAgreesWithReference) {
     ASSERT_TRUE(out.SetEquals(expected))
         << "trial " << trial << "\nstored: " << stored.ToString();
   }
+}
+
+// Exact (row-order, not just set) equality: the columnar kernels promise
+// byte-identical output to the row kernels.
+void ExpectSameRows(const Relation& row, const Relation& columnar,
+                    int trial) {
+  ASSERT_EQ(row.arity(), columnar.arity()) << "trial " << trial;
+  ASSERT_EQ(row.size(), columnar.size()) << "trial " << trial;
+  for (int64_t i = 0; i < row.size(); ++i) {
+    for (int c = 0; c < row.arity(); ++c) {
+      ASSERT_EQ(row.at(i, c), columnar.at(i, c))
+          << "trial " << trial << " row " << i << " col " << c;
+    }
+  }
+}
+
+// Every ExecStats field except peak_bytes must match the row kernel's:
+// the columnar path accounts scratch differently by design (shared build
+// plus per-morsel batches), but the work counters are the oracle.
+void ExpectSameStatsExceptPeak(const ExecStats& row, const ExecStats& col,
+                               int trial) {
+  EXPECT_EQ(row.tuples_produced, col.tuples_produced) << "trial " << trial;
+  EXPECT_EQ(row.num_joins, col.num_joins) << "trial " << trial;
+  EXPECT_EQ(row.num_projections, col.num_projections) << "trial " << trial;
+  EXPECT_EQ(row.num_semijoins, col.num_semijoins) << "trial " << trial;
+  EXPECT_EQ(row.max_intermediate_arity, col.max_intermediate_arity)
+      << "trial " << trial;
+  EXPECT_EQ(row.max_intermediate_rows, col.max_intermediate_rows)
+      << "trial " << trial;
+}
+
+// An inline MorselExec with tiny morsels, so 25-row random inputs still
+// exercise multi-morsel partitioning and in-order merges.
+MorselExec Morsels(int64_t rows) {
+  MorselExec mx;
+  mx.morsel_rows = rows;
+  return mx;
+}
+
+TEST(FlatOpsPropertyTest, ColumnarJoinIsRowJoinExactly) {
+  Rng rng(505);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Relation left = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation right = RandomRelation(RandomSchema(rng, 3), rng);
+    ExecContext row_ctx;
+    const Relation row_out = NaturalJoin(left, right, row_ctx);
+    for (const int64_t morsel : {int64_t{1}, int64_t{3}, int64_t{1024}}) {
+      ExecContext col_ctx;
+      const Relation col_out =
+          NaturalJoinColumnar(left, right, col_ctx, Morsels(morsel));
+      ExpectSameRows(row_out, col_out, trial);
+      ExpectSameStatsExceptPeak(row_ctx.stats(), col_ctx.stats(), trial);
+    }
+  }
+}
+
+TEST(FlatOpsPropertyTest, ColumnarProjectIsRowProjectExactly) {
+  Rng rng(606);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Relation input = RandomRelation(RandomSchema(rng, 4), rng);
+    std::vector<AttrId> keep;
+    for (AttrId a : input.schema().attrs()) {
+      if (rng.NextBounded(2) == 0) keep.push_back(a);
+    }
+    ExecContext row_ctx;
+    const Relation row_out = Project(input, keep, row_ctx);
+    for (const int64_t morsel : {int64_t{1}, int64_t{3}, int64_t{1024}}) {
+      ExecContext col_ctx;
+      const Relation col_out =
+          ProjectColumnar(input, keep, col_ctx, Morsels(morsel));
+      // Distinct-order preservation across morsel merges is part of the
+      // contract, so the comparison is exact, not SetEquals.
+      ExpectSameRows(row_out, col_out, trial);
+      ExpectSameStatsExceptPeak(row_ctx.stats(), col_ctx.stats(), trial);
+    }
+  }
+}
+
+TEST(FlatOpsPropertyTest, ColumnarSemiJoinIsRowSemiJoinExactly) {
+  Rng rng(707);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Relation left = RandomRelation(RandomSchema(rng, 3), rng);
+    const Relation right = RandomRelation(RandomSchema(rng, 3), rng);
+    ExecContext row_ctx;
+    const Relation row_out = SemiJoin(left, right, row_ctx);
+    for (const int64_t morsel : {int64_t{1}, int64_t{3}, int64_t{1024}}) {
+      ExecContext col_ctx;
+      const Relation col_out =
+          SemiJoinColumnar(left, right, col_ctx, Morsels(morsel));
+      ExpectSameRows(row_out, col_out, trial);
+      ExpectSameStatsExceptPeak(row_ctx.stats(), col_ctx.stats(), trial);
+    }
+  }
+}
+
+TEST(FlatOpsPropertyTest, ColumnarBindAtomIsRowBindAtomExactly) {
+  Rng rng(808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Relation stored = RandomRelation(RandomSchema(rng, 3), rng);
+    // Repeated attributes are the norm here: three ids over up-to-three
+    // columns, so the scan's equality-check path runs constantly.
+    std::vector<AttrId> args;
+    for (int c = 0; c < stored.arity(); ++c) {
+      args.push_back(static_cast<AttrId>(20 + rng.NextBounded(3)));
+    }
+    ExecContext row_ctx;
+    const Relation row_out = BindAtom(stored, args, row_ctx);
+    for (const int64_t morsel : {int64_t{1}, int64_t{3}, int64_t{1024}}) {
+      ExecContext col_ctx;
+      const Relation col_out =
+          BindAtomColumnar(stored, args, col_ctx, Morsels(morsel));
+      ExpectSameRows(row_out, col_out, trial);
+      ExpectSameStatsExceptPeak(row_ctx.stats(), col_ctx.stats(), trial);
+    }
+  }
+}
+
+TEST(FlatOpsPropertyTest, ColumnarEmptyAndSingleRowEdges) {
+  const Schema ab{std::vector<AttrId>{0, 1}};
+  const Schema bc{std::vector<AttrId>{1, 2}};
+  Relation empty_ab{ab};
+  Relation empty_bc{bc};
+  Relation one_ab{ab};
+  one_ab.AddTuple({1, 2});
+  Relation one_bc{bc};
+  one_bc.AddTuple({2, 3});
+
+  for (const int64_t morsel : {int64_t{1}, int64_t{64}}) {
+    const MorselExec mx = Morsels(morsel);
+    ExecContext ctx;
+    EXPECT_TRUE(NaturalJoinColumnar(empty_ab, empty_bc, ctx, mx).empty());
+    EXPECT_TRUE(NaturalJoinColumnar(one_ab, empty_bc, ctx, mx).empty());
+    EXPECT_TRUE(NaturalJoinColumnar(empty_ab, one_bc, ctx, mx).empty());
+    const Relation joined = NaturalJoinColumnar(one_ab, one_bc, ctx, mx);
+    ASSERT_EQ(joined.size(), 1);
+    EXPECT_EQ(joined.at(0, 0), 1);
+    EXPECT_EQ(joined.at(0, 1), 2);
+    EXPECT_EQ(joined.at(0, 2), 3);
+
+    EXPECT_TRUE(ProjectColumnar(empty_ab, {0}, ctx, mx).empty());
+    const Relation projected = ProjectColumnar(one_ab, {1}, ctx, mx);
+    ASSERT_EQ(projected.size(), 1);
+    EXPECT_EQ(projected.at(0, 0), 2);
+
+    EXPECT_TRUE(SemiJoinColumnar(empty_ab, one_bc, ctx, mx).empty());
+    EXPECT_TRUE(SemiJoinColumnar(one_ab, empty_bc, ctx, mx).empty());
+    EXPECT_EQ(SemiJoinColumnar(one_ab, one_bc, ctx, mx).size(), 1);
+
+    EXPECT_TRUE(BindAtomColumnar(empty_ab, {7, 7}, ctx, mx).empty());
+    // Repeated attribute on a single row: 1 != 2, so the binding fails.
+    EXPECT_TRUE(BindAtomColumnar(one_ab, {7, 7}, ctx, mx).empty());
+    const Relation bound = BindAtomColumnar(one_ab, {7, 8}, ctx, mx);
+    ASSERT_EQ(bound.size(), 1);
+  }
+}
+
+TEST(FlatOpsPropertyTest, ColumnarNullarySchemasDelegate) {
+  const Schema nullary{std::vector<AttrId>{}};
+  Relation empty_n{nullary};
+  Relation full_n{nullary};
+  full_n.AddTuple(std::span<const Value>{});
+  Relation unary{Schema({3})};
+  unary.AddTuple({7});
+  unary.AddTuple({9});
+
+  const MorselExec mx = Morsels(1);
+  ExecContext ctx;
+  EXPECT_TRUE(NaturalJoinColumnar(full_n, full_n, ctx, mx).SetEquals(full_n));
+  EXPECT_TRUE(
+      NaturalJoinColumnar(full_n, empty_n, ctx, mx).SetEquals(empty_n));
+  EXPECT_TRUE(NaturalJoinColumnar(unary, full_n, ctx, mx).SetEquals(unary));
+  EXPECT_TRUE(NaturalJoinColumnar(full_n, unary, ctx, mx).SetEquals(unary));
+  EXPECT_TRUE(NaturalJoinColumnar(unary, empty_n, ctx, mx).empty());
+  // Boolean projection: nonempty input yields the single empty tuple.
+  const Relation truth = ProjectColumnar(unary, {}, ctx, mx);
+  EXPECT_TRUE(truth.SetEquals(full_n));
+  EXPECT_TRUE(ProjectColumnar(Relation{Schema({3})}, {}, ctx, mx).empty());
+  EXPECT_TRUE(SemiJoinColumnar(unary, full_n, ctx, mx).SetEquals(unary));
+  EXPECT_TRUE(SemiJoinColumnar(unary, empty_n, ctx, mx).empty());
+}
+
+TEST(FlatOpsPropertyTest, ColumnBatchSelectionAllFalse) {
+  ExecArena arena;
+  ColumnBatch batch(2, 8, arena);
+  const Value rows[] = {1, 2, 3, 4, 5, 6};  // three row-major (a, b) rows
+  const int identity[] = {0, 1};
+  batch.GatherRows(rows, 2, 0, 3, identity);
+  ASSERT_EQ(batch.num_rows(), 3);
+  ASSERT_EQ(batch.num_selected(), 3);  // gather resets to identity
+
+  // Kill every row; the scatter must write nothing.
+  batch.SetSelected(0);
+  Value sink[6] = {-1, -1, -1, -1, -1, -1};
+  batch.ScatterSelectedTo(sink);
+  for (const Value v : sink) EXPECT_EQ(v, -1);
+
+  // Select the last row only; a partial scatter of column 0 alone
+  // writes exactly one value at stride 1.
+  batch.selection()[0] = 2;
+  batch.SetSelected(1);
+  batch.ScatterSelectedTo(sink, 1);
+  EXPECT_EQ(sink[0], 5);
+  EXPECT_EQ(sink[1], -1);
+}
+
+TEST(FlatOpsPropertyTest, ColumnBatchEmitTupleAdapter) {
+  ExecArena arena;
+  ColumnBatch batch(3, 4, arena);
+  const Value t0[] = {1, 2, 3};
+  const Value t1[] = {4, 5, 6};
+  batch.EmitTuple(t0);
+  batch.EmitTuple(t1);
+  ASSERT_EQ(batch.num_rows(), 2);
+  ASSERT_EQ(batch.num_selected(), 2);
+  Value out[6] = {};
+  batch.ScatterSelectedTo(out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(out[4], 5);
+  EXPECT_EQ(out[5], 6);
 }
 
 TEST(FlatOpsPropertyTest, NullaryJoinCombinations) {

@@ -553,6 +553,36 @@ TEST(BatchExecutorTest, AggregationIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(comparable(reg1), comparable(reg4a));
 }
 
+TEST(BatchExecutorTest, PeakBytesFoldsAsMaxNotSum) {
+  // Regression guard for the totals fold: peak_bytes is a high-water
+  // gauge (the largest single-operator footprint of any one job), so the
+  // batch total must be the max over jobs — folding it additively would
+  // inflate with batch size and break the static-bound comparisons.
+  Database db = ThreeColorDb();
+  ColorBatchSpec spec;
+  spec.num_bases = 3;
+  spec.copies_per_base = 4;
+  spec.num_vertices = 8;
+  spec.seed = 29;
+  std::vector<BatchJob> jobs = JobsFrom(IsomorphicColorBatch(spec),
+                                        StrategyKind::kBucketElimination);
+  BatchOptions options;
+  options.num_threads = 2;
+  const BatchResult result = BatchExecutor(db, options).Run(jobs);
+
+  Counter max_peak = 0;
+  Counter sum_peak = 0;
+  for (const ExecutionResult& r : result.results) {
+    ASSERT_TRUE(r.status.ok());
+    ASSERT_GT(r.stats.peak_bytes, 0);
+    max_peak = std::max(max_peak, r.stats.peak_bytes);
+    sum_peak += r.stats.peak_bytes;
+  }
+  EXPECT_EQ(result.totals.peak_bytes, max_peak);
+  ASSERT_GT(result.results.size(), 1u);
+  EXPECT_LT(result.totals.peak_bytes, sum_peak);
+}
+
 TEST(BatchExecutorTest, PublishesRuntimeMetrics) {
   Database db = ThreeColorDb();
   std::vector<ConjunctiveQuery> queries;
