@@ -4,19 +4,32 @@
 // a strategy (or a compiler change) that starts emitting plans the
 // static analysis rejects — or a verifier change that starts rejecting
 // known-good plans.
+//
+// A second sweep turns on the semantic tier (PPR_VERIFY_SEMANTICS
+// semantics: Chandra–Merlin certification of every compiled plan, plus
+// the per-rewrite certificate each strategy emits) and proves the same
+// matrix. A final timing pass gates the cost of the tier when it is
+// *disabled* — the default configuration must not pay for the proof it
+// is not running. With an argument, writes the metrics registry
+// (certification counters and wall-ns histograms) to that path as the
+// BENCH_verify.json CI artifact.
 
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/semantic/certificate_checker.h"
 #include "analysis/verifier.h"
 #include "benchlib/harness.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "core/rewrite_certificate.h"
 #include "encode/kcolor.h"
 #include "encode/sat.h"
 #include "exec/executor.h"
 #include "exec/physical_plan.h"
+#include "exec/verify_hook.h"
 #include "graph/generators.h"
 #include "query/conjunctive_query.h"
 #include "relational/database.h"
@@ -96,19 +109,121 @@ int RunWorkload(const Workload& workload, const Database& db) {
   return failures;
 }
 
-int Run() {
+// Semantic sweep: with the third verifier tier enabled, Compile itself
+// certifies each plan (logical and lowered) against the query by the
+// canonical-database equivalence check, and the strategy's rewrite
+// certificate is validated step by step. Returns the failure count.
+int RunSemanticWorkload(const Workload& workload, const Database& db) {
   int failures = 0;
+  for (StrategyKind kind : AllStrategies()) {
+    RewriteCertificate certificate;
+    WallTimer timer;
+    const Plan plan =
+        BuildStrategyPlanWithCertificate(kind, workload.query, 1,
+                                         &certificate);
+    const Status cert_verdict =
+        CheckRewriteCertificate(workload.query, plan, certificate);
+    Result<PhysicalPlan> compiled =
+        PhysicalPlan::Compile(workload.query, plan, db);
+    const double seconds = timer.ElapsedSeconds();
+    if (cert_verdict.ok() && compiled.ok()) {
+      std::printf("OK    %-42s %-10s semantics+certificate %.3gs\n",
+                  workload.name.c_str(), StrategyName(kind), seconds);
+    } else {
+      ++failures;
+      const Status& bad = cert_verdict.ok() ? compiled.status() : cert_verdict;
+      std::printf("FAIL  %-42s %-10s %s\n", workload.name.c_str(),
+                  StrategyName(kind), bad.message().c_str());
+    }
+  }
+  return failures;
+}
 
-  Database coloring_db;
-  AddColoringRelations(3, &coloring_db);
-  for (const Workload& workload : ColoringWorkloads()) {
-    failures += RunWorkload(workload, coloring_db);
+struct Suite {
+  std::vector<Workload> workloads;
+  Database db;
+};
+
+std::vector<Suite> BuildSuites() {
+  std::vector<Suite> suites(2);
+  suites[0].workloads = ColoringWorkloads();
+  AddColoringRelations(3, &suites[0].db);
+  suites[1].workloads = SatWorkloads();
+  AddSatRelations(3, &suites[1].db);
+  return suites;
+}
+
+// Median wall time of compiling the full strategy matrix once, in the
+// process's *current* verification configuration.
+double MedianMatrixCompileSeconds(const std::vector<Suite>& suites) {
+  std::vector<double> reps;
+  for (int rep = 0; rep < 5; ++rep) {
+    WallTimer timer;
+    for (const Suite& suite : suites) {
+      for (const Workload& workload : suite.workloads) {
+        for (StrategyKind kind : AllStrategies()) {
+          const Plan plan = BuildStrategyPlan(kind, workload.query, 1);
+          Result<PhysicalPlan> compiled =
+              PhysicalPlan::Compile(workload.query, plan, suite.db);
+          if (!compiled.ok()) return -1.0;
+        }
+      }
+    }
+    reps.push_back(timer.ElapsedSeconds());
+  }
+  return Median(reps);
+}
+
+int Run(const std::string& metrics_path) {
+  int failures = 0;
+  std::vector<Suite> suites = BuildSuites();
+
+  std::printf("== structural sweep ==\n");
+  for (const Suite& suite : suites) {
+    for (const Workload& workload : suite.workloads) {
+      failures += RunWorkload(workload, suite.db);
+    }
   }
 
-  Database sat_db;
-  AddSatRelations(3, &sat_db);
-  for (const Workload& workload : SatWorkloads()) {
-    failures += RunWorkload(workload, sat_db);
+  std::printf("\n== semantic sweep (PPR_VERIFY_SEMANTICS) ==\n");
+  InstallPlanVerifier(/*enable=*/false);
+  EnableSemanticVerification(true);
+  for (const Suite& suite : suites) {
+    for (const Workload& workload : suite.workloads) {
+      failures += RunSemanticWorkload(workload, suite.db);
+    }
+  }
+  EnableSemanticVerification(false);
+
+  // Disabled-path overhead gate: with the hooks installed but every
+  // tier off (the default configuration), compilation may cost at most
+  // 10% more than with no hooks registered at all — the tier's gate is
+  // one relaxed atomic load, and this keeps it that way. A small
+  // absolute allowance keeps scheduler noise from failing CI on a
+  // sub-millisecond baseline.
+  const double installed = MedianMatrixCompileSeconds(suites);
+  UninstallPlanVerifier();
+  const double baseline = MedianMatrixCompileSeconds(suites);
+  std::printf("\n== disabled-path overhead ==\n");
+  std::printf("baseline %.4gs, hooks installed (all tiers off) %.4gs\n",
+              baseline, installed);
+  if (baseline < 0 || installed < 0) {
+    ++failures;
+    std::printf("FAIL  overhead probe: compilation failed\n");
+  } else if (installed > baseline * 1.10 + 0.05) {
+    ++failures;
+    std::printf("FAIL  disabled verification costs more than 10%%\n");
+  }
+
+  if (!metrics_path.empty()) {
+    Status wrote = WriteBenchMetrics(metrics_path);
+    if (!wrote.ok()) {
+      ++failures;
+      std::printf("FAIL  writing %s: %s\n", metrics_path.c_str(),
+                  wrote.message().c_str());
+    } else {
+      std::printf("\nmetrics -> %s\n", metrics_path.c_str());
+    }
   }
 
   if (failures > 0) {
@@ -122,4 +237,6 @@ int Run() {
 }  // namespace
 }  // namespace ppr
 
-int main() { return ppr::Run(); }
+int main(int argc, char** argv) {
+  return ppr::Run(argc > 1 ? argv[1] : "");
+}

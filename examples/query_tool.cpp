@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "benchlib/figures.h"
 #include "benchlib/harness.h"
 #include "encode/kcolor.h"
@@ -40,6 +41,11 @@ const char* FlagValue(int argc, char** argv, const char* name,
 
 int main(int argc, char** argv) {
   using namespace ppr;
+
+  // PPR_VERIFY_PLANS / PPR_VERIFY_SEMANTICS prove every compiled plan
+  // (structurally / semantically) before it runs; failures surface as
+  // compile errors and on the EXPLAIN verifier line.
+  InstallPlanVerifierFromEnv();
 
   const std::string text = FlagValue(
       argc, argv, "query", "pi{X} edge(X,Y) & edge(Y,Z) & edge(X,Z)");

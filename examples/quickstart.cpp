@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "analysis/verifier.h"
 #include "benchlib/harness.h"
 #include "encode/kcolor.h"
 #include "exec/executor.h"
@@ -16,6 +17,10 @@
 
 int main() {
   using namespace ppr;
+
+  // PPR_VERIFY_PLANS / PPR_VERIFY_SEMANTICS prove every compiled plan
+  // (structurally / semantically) before it runs.
+  InstallPlanVerifierFromEnv();
 
   // 1. The database: one binary relation with the 6 pairs of distinct
   //    colors (Section 2).

@@ -1,0 +1,245 @@
+#include "analysis/semantic/certificate_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/obs_lock.h"
+
+namespace ppr {
+namespace {
+
+/// One projection point re-derived from the plan itself: node `node_id`
+/// (pre-order) drops `var`, and `subtree_atoms` is the set of atom
+/// indices scanned below it.
+struct DropSite {
+  int node_id = -1;
+  const std::set<int>* subtree_atoms = nullptr;
+};
+
+struct CheckerWalk {
+  const ConjunctiveQuery& query;
+  /// Subtree atom sets, owned here so DropSite can point into them.
+  std::vector<std::unique_ptr<std::set<int>>> subtree_sets;
+  std::vector<int> leaf_order;                // pre-order leaf atoms
+  std::map<std::pair<AttrId, int>, DropSite> drops;  // (var, node) -> site
+  int next_id = 0;
+  bool bad_leaf = false;
+
+  /// Returns (visible attrs sorted, subtree atom set). Working labels are
+  /// re-derived from the children, not read off the (possibly lying)
+  /// node labels.
+  std::pair<std::vector<AttrId>, const std::set<int>*> Walk(
+      const PlanNode* node) {
+    const int node_id = next_id++;
+    auto atoms = std::make_unique<std::set<int>>();
+    std::vector<AttrId> working;
+    if (node->IsLeaf()) {
+      if (node->atom_index < 0 || node->atom_index >= query.num_atoms()) {
+        bad_leaf = true;
+        subtree_sets.push_back(std::move(atoms));
+        return {{}, subtree_sets.back().get()};
+      }
+      leaf_order.push_back(node->atom_index);
+      atoms->insert(node->atom_index);
+      working =
+          query.atoms()[static_cast<size_t>(node->atom_index)].DistinctAttrs();
+      std::sort(working.begin(), working.end());
+    } else {
+      for (const auto& child : node->children) {
+        auto [visible, child_atoms] = Walk(child.get());
+        working.insert(working.end(), visible.begin(), visible.end());
+        atoms->insert(child_atoms->begin(), child_atoms->end());
+      }
+      std::sort(working.begin(), working.end());
+      working.erase(std::unique(working.begin(), working.end()),
+                    working.end());
+    }
+    subtree_sets.push_back(std::move(atoms));
+    const std::set<int>* subtree = subtree_sets.back().get();
+
+    std::vector<AttrId> projected = node->projected;
+    std::sort(projected.begin(), projected.end());
+    projected.erase(std::unique(projected.begin(), projected.end()),
+                    projected.end());
+    std::vector<AttrId> visible;
+    std::vector<AttrId> dropped;
+    for (AttrId a : working) {
+      if (std::binary_search(projected.begin(), projected.end(), a)) {
+        visible.push_back(a);
+      } else {
+        dropped.push_back(a);
+        drops[{a, node_id}] = DropSite{node_id, subtree};
+      }
+    }
+    return {std::move(visible), subtree};
+  }
+};
+
+void Publish(bool passed) {
+  MutexLock lock(GlobalObsMutex());
+  GlobalMetrics().AddCounter(
+      passed ? "analysis.semantic.certificate_checks.passed"
+             : "analysis.semantic.certificate_checks.failed",
+      1);
+}
+
+Status Fail(const RewriteCertificate& certificate, std::string msg) {
+  Publish(false);
+  return Status::InvalidArgument("certificate (" + certificate.strategy +
+                                 "): " + std::move(msg));
+}
+
+}  // namespace
+
+Status CheckRewriteCertificate(const ConjunctiveQuery& query, const Plan& plan,
+                               const RewriteCertificate& certificate) {
+  if (plan.empty()) return Fail(certificate, "plan is empty");
+  if (certificate.empty()) {
+    return Fail(certificate, "certificate is empty — strategy emitted none");
+  }
+
+  // 1. Atom order: a permutation of the query's atoms that matches the
+  // plan's own pre-order leaf sequence.
+  const int m = query.num_atoms();
+  if (static_cast<int>(certificate.atom_order.size()) != m) {
+    return Fail(certificate,
+                "atom order lists " +
+                    std::to_string(certificate.atom_order.size()) +
+                    " atoms, query has " + std::to_string(m));
+  }
+  std::vector<int> position(static_cast<size_t>(m), -1);
+  for (size_t i = 0; i < certificate.atom_order.size(); ++i) {
+    const int atom = certificate.atom_order[i];
+    if (atom < 0 || atom >= m) {
+      return Fail(certificate,
+                  "atom order contains out-of-range atom " +
+                      std::to_string(atom));
+    }
+    if (position[static_cast<size_t>(atom)] != -1) {
+      return Fail(certificate, "atom order repeats atom " +
+                                   std::to_string(atom) +
+                                   " — not a permutation");
+    }
+    position[static_cast<size_t>(atom)] = static_cast<int>(i);
+  }
+
+  CheckerWalk walk{query};
+  walk.Walk(plan.root());
+  if (walk.bad_leaf) {
+    return Fail(certificate, "plan has a leaf outside the query's atom list");
+  }
+  if (walk.leaf_order != certificate.atom_order) {
+    return Fail(certificate,
+                "atom order does not match the plan's pre-order leaf "
+                "sequence — the certificate describes a different tree");
+  }
+
+  // 2 + 3. Steps: exactly one per projection point, each satisfying the
+  // Section 4 safety condition with a genuine last-occurrence witness.
+  std::set<std::pair<AttrId, int>> seen;
+  for (const ProjectionStep& step : certificate.steps) {
+    const std::string where = "step (x" + std::to_string(step.var) +
+                              " @ node " + std::to_string(step.node_id) + ")";
+    if (!seen.insert({step.var, step.node_id}).second) {
+      return Fail(certificate, where + " appears twice");
+    }
+    auto it = walk.drops.find({step.var, step.node_id});
+    if (it == walk.drops.end()) {
+      return Fail(certificate,
+                  where + " claims a projection the plan does not perform");
+    }
+    const std::set<int>& subtree = *it->second.subtree_atoms;
+    if (std::find(query.free_vars().begin(), query.free_vars().end(),
+                  step.var) != query.free_vars().end()) {
+      return Fail(certificate,
+                  where + " projects out free variable x" +
+                      std::to_string(step.var) + " of the target schema");
+    }
+    // Safety: every atom using the variable lies inside the subtree, and
+    // the witness is the one joined last.
+    int last_atom = -1;
+    for (int atom = 0; atom < m; ++atom) {
+      if (!query.atoms()[static_cast<size_t>(atom)].UsesAttr(step.var)) {
+        continue;
+      }
+      if (subtree.count(atom) == 0) {
+        return Fail(certificate,
+                    where + " is premature: x" + std::to_string(step.var) +
+                        " occurs again in atom " + std::to_string(atom) +
+                        " outside the node's subtree — no last-occurrence "
+                        "witness exists");
+      }
+      if (last_atom == -1 || position[static_cast<size_t>(atom)] >
+                                 position[static_cast<size_t>(last_atom)]) {
+        last_atom = atom;
+      }
+    }
+    if (last_atom == -1) {
+      return Fail(certificate, where + " drops a variable no atom uses");
+    }
+    if (step.witness_atom != last_atom) {
+      return Fail(certificate,
+                  where + " names witness atom " +
+                      std::to_string(step.witness_atom) +
+                      ", but the last occurrence of x" +
+                      std::to_string(step.var) + " in the atom order is atom " +
+                      std::to_string(last_atom));
+    }
+  }
+  for (const auto& [key, site] : walk.drops) {
+    if (seen.count(key) == 0) {
+      return Fail(certificate,
+                  "plan drops x" + std::to_string(key.first) + " at node " +
+                      std::to_string(site.node_id) +
+                      " but the certificate records no such step");
+    }
+  }
+
+  // 4. Bucket numbering: covers every query attribute once, free
+  // variables first (extras from the join graph's dense id range are
+  // fine — they name no query attribute).
+  if (!certificate.elimination_order.empty()) {
+    std::set<AttrId> listed;
+    int max_free_pos = -1;
+    int min_bound_pos = static_cast<int>(certificate.elimination_order.size());
+    for (size_t i = 0; i < certificate.elimination_order.size(); ++i) {
+      const AttrId a = certificate.elimination_order[i];
+      if (!listed.insert(a).second) {
+        return Fail(certificate, "elimination order repeats x" +
+                                     std::to_string(a));
+      }
+      if (!query.UsesAttr(a)) continue;
+      const bool is_free =
+          std::find(query.free_vars().begin(), query.free_vars().end(), a) !=
+          query.free_vars().end();
+      if (is_free) {
+        max_free_pos = std::max(max_free_pos, static_cast<int>(i));
+      } else {
+        min_bound_pos = std::min(min_bound_pos, static_cast<int>(i));
+      }
+    }
+    for (AttrId a : query.AllAttrs()) {
+      if (listed.count(a) == 0) {
+        return Fail(certificate, "elimination order omits x" +
+                                     std::to_string(a));
+      }
+    }
+    if (max_free_pos > min_bound_pos) {
+      return Fail(certificate,
+                  "elimination order numbers a bound variable before a free "
+                  "one — free variables must come first so they are "
+                  "eliminated last (Section 5)");
+    }
+  }
+
+  Publish(true);
+  return Status::Ok();
+}
+
+}  // namespace ppr

@@ -1,0 +1,40 @@
+#ifndef PPR_ANALYSIS_SEMANTIC_CERTIFICATE_CHECKER_H_
+#define PPR_ANALYSIS_SEMANTIC_CERTIFICATE_CHECKER_H_
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "core/rewrite_certificate.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// Re-validates a strategy's RewriteCertificate against the plan it was
+/// emitted for, from first principles — nothing from the emitter's
+/// derivation is trusted. Checks, in order:
+///
+///   1. `atom_order` is a permutation of the query's atom indices and
+///      matches the plan's pre-order leaf sequence.
+///   2. Every projection point of the plan (a variable in a node's
+///      working label but not its projected label) has exactly one
+///      ProjectionStep, and vice versa — no missing or fabricated steps.
+///   3. Each step satisfies the paper's Section 4 safety condition: the
+///      dropped variable is not free, every atom using it lies inside the
+///      dropping node's subtree (no later occurrence exists that the
+///      projection would cut off), and the recorded witness is the atom
+///      of that subtree occurring *last* in `atom_order`.
+///   4. For bucket strategies, `elimination_order` numbers every query
+///      attribute exactly once with all free variables before any bound
+///      one (Section 5's requirement that free variables are eliminated
+///      last). Attributes outside the query (the join graph numbers the
+///      full id range) are tolerated.
+///
+/// A failure names the offending step — strategy, variable, node, witness
+/// — so a broken rewrite is debuggable as "this projection was unsafe"
+/// rather than "plans differ". Publishes the
+/// `analysis.semantic.certificate_checks.{passed,failed}` counters.
+Status CheckRewriteCertificate(const ConjunctiveQuery& query, const Plan& plan,
+                               const RewriteCertificate& certificate);
+
+}  // namespace ppr
+
+#endif  // PPR_ANALYSIS_SEMANTIC_CERTIFICATE_CHECKER_H_

@@ -1,0 +1,55 @@
+#ifndef PPR_ANALYSIS_SEMANTIC_EXTRACT_H_
+#define PPR_ANALYSIS_SEMANTIC_EXTRACT_H_
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "exec/physical_plan.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+
+namespace ppr {
+
+/// The conjunctive query a plan *denotes*, re-derived by walking the tree
+/// and reading off what the operators actually compute: the atoms the
+/// leaves scan, the variable unifications the equality joins perform, and
+/// the head variables that survive to the root.
+///
+/// Projections are the interesting part. When a node drops a variable,
+/// any occurrence of the same attribute id *outside* that node's subtree
+/// can no longer unify with the dropped occurrences — the join above the
+/// drop point never sees the column — so the extraction renames the
+/// subtree's occurrences to a fresh variable. A safely-pushed projection
+/// (the paper's Section 4 condition: the variable's last occurrence is
+/// already inside the subtree) renames nothing observable and the
+/// extracted query is literally pi_head(join of all atoms); a premature
+/// projection splits a variable in two, and the Chandra–Merlin test
+/// downstream (analysis/semantic/certify.h) exposes the difference.
+struct ExtractedQuery {
+  ConjunctiveQuery query;
+  /// Number of variables split by projections that preceded another
+  /// occurrence of the same attribute (0 for every safely-pushed plan).
+  int split_vars = 0;
+};
+
+/// Extracts the denoted query from a logical plan. Leaves are resolved
+/// through `query`'s atom list (a leaf is "scan atom i"); everything else
+/// — unifications, projection scopes, the surviving head — comes from the
+/// plan alone. Fails with InvalidArgument on trees the walk cannot give a
+/// meaning to (out-of-range leaf atoms, a node projecting an attribute no
+/// child supplies, duplicate head attributes).
+Result<ExtractedQuery> ExtractQuery(const ConjunctiveQuery& query,
+                                    const Plan& plan);
+
+/// Extracts the denoted query from a *compiled* plan, using only the
+/// compiled artifacts: atoms are reconstructed from each leaf's ScanSpec
+/// (stored column bindings and repeated-attribute equality checks) and
+/// the stored-relation pointer resolved against `db`'s catalog; working
+/// schemas are re-derived by folding the children's output schemas; the
+/// head is the root's output schema. Independent of the logical plan, so
+/// it certifies that the *lowering* still computes the original query.
+Result<ExtractedQuery> ExtractCompiledQuery(const Database& db,
+                                            const PhysicalPlan& physical);
+
+}  // namespace ppr
+
+#endif  // PPR_ANALYSIS_SEMANTIC_EXTRACT_H_

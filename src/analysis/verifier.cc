@@ -4,6 +4,8 @@
 
 #include "analysis/physical_verifier.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/semantic/certify.h"
+#include "common/env.h"
 #include "exec/verify_hook.h"
 
 namespace ppr {
@@ -79,6 +81,14 @@ void InstallPlanVerifier(bool enable) {
                                const MorselAccounting& accounting) {
     return VerifyMorselAccounting(query, plan, db, accounting);
   };
+  // Semantic tier: fires only while EnableSemanticVerification /
+  // PPR_VERIFY_SEMANTICS is on (exec gates it independently of `enable`).
+  // The adapter passes re-entrant calls through — the equivalence proof
+  // itself compiles plans over canonical databases.
+  hooks.semantic = [](const ConjunctiveQuery& query, const Plan& plan,
+                      const Database& db, const PhysicalPlan* physical) {
+    return CertifyForVerifierHook(query, plan, db, physical);
+  };
   SetPlanVerifierHooks(std::move(hooks));
   if (enable) EnablePlanVerification(true);
 }
@@ -86,6 +96,16 @@ void InstallPlanVerifier(bool enable) {
 void UninstallPlanVerifier() {
   ClearPlanVerifierHooks();
   EnablePlanVerification(false);
+  EnableSemanticVerification(false);
+}
+
+void InstallPlanVerifierFromEnv() {
+  const EnvConfig& env = ProcessEnv();
+  if (env.verify_plans || env.verify_semantics) {
+    // The gates were seeded from the same snapshot; registering the
+    // hooks is all that is left to do.
+    InstallPlanVerifier(/*enable=*/false);
+  }
 }
 
 }  // namespace ppr

@@ -56,6 +56,12 @@ void InstallPlanVerifier(bool enable = true);
 /// Unregisters the hooks and disables verification.
 void UninstallPlanVerifier();
 
+/// Installs the hooks iff the process environment requests a tier
+/// (PPR_VERIFY_PLANS / PPR_VERIFY_SEMANTICS), leaving the env-seeded
+/// gates as they are. Entry point for examples and tools, so setting
+/// the variable on any run-book binary actually verifies.
+void InstallPlanVerifierFromEnv();
+
 }  // namespace ppr
 
 #endif  // PPR_ANALYSIS_VERIFIER_H_

@@ -50,21 +50,28 @@ const char* StrategyName(StrategyKind kind) {
 
 Plan BuildStrategyPlan(StrategyKind kind, const ConjunctiveQuery& query,
                        uint64_t seed) {
+  return BuildStrategyPlanWithCertificate(kind, query, seed, nullptr);
+}
+
+Plan BuildStrategyPlanWithCertificate(StrategyKind kind,
+                                      const ConjunctiveQuery& query,
+                                      uint64_t seed,
+                                      RewriteCertificate* certificate) {
   Rng rng(seed);
   switch (kind) {
     case StrategyKind::kStraightforward:
-      return StraightforwardPlan(query);
+      return StraightforwardPlan(query, certificate);
     case StrategyKind::kEarlyProjection:
-      return EarlyProjectionPlan(query);
+      return EarlyProjectionPlan(query, certificate);
     case StrategyKind::kReordering:
-      return ReorderingPlan(query, &rng);
+      return ReorderingPlan(query, &rng, certificate);
     case StrategyKind::kBucketElimination:
-      return BucketEliminationPlanMcs(query, &rng);
+      return BucketEliminationPlanMcs(query, &rng, certificate);
     case StrategyKind::kTreewidth: {
       const Graph join_graph = BuildJoinGraph(query);
       const EliminationOrder order =
           McsEliminationOrder(join_graph, query.free_vars(), &rng);
-      return TreewidthPlan(query, order);
+      return TreewidthPlan(query, order, certificate);
     }
   }
   PPR_CHECK(false);

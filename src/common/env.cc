@@ -24,6 +24,10 @@ const EnvConfig& ProcessEnv() {
         env != nullptr && std::strcmp(env, "0") != 0) {
       c.verify_plans = true;
     }
+    if (const char* env = std::getenv("PPR_VERIFY_SEMANTICS");
+        env != nullptr && std::strcmp(env, "0") != 0) {
+      c.verify_semantics = true;
+    }
     if (const char* env = std::getenv("PPR_THREADS");
         env != nullptr && env[0] != '\0') {
       const int n = std::atoi(env);

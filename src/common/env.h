@@ -23,6 +23,13 @@ struct EnvConfig {
   /// verifier hooks inside PhysicalPlan::Compile (exec/verify_hook.h).
   bool verify_plans = false;
 
+  /// PPR_VERIFY_SEMANTICS: set (and not "0") additionally runs the
+  /// semantic certification tier — plan→query extraction plus a
+  /// Chandra–Merlin equivalence proof (analysis/semantic/certify.h) —
+  /// inside PhysicalPlan::Compile and ExplainPlan. Independent of
+  /// PPR_VERIFY_PLANS; either tier can run alone.
+  bool verify_semantics = false;
+
   /// PPR_THREADS: default worker count for the batch runtime and the
   /// thread-scaling bench harness; 0 means "unset" (callers pick their
   /// own default, typically 1 or hardware_concurrency).

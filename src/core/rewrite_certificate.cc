@@ -1,0 +1,109 @@
+#include "core/rewrite_certificate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppr {
+namespace {
+
+void CollectLeaves(const PlanNode* node, std::vector<int>* out) {
+  if (node->IsLeaf()) {
+    out->push_back(node->atom_index);
+    return;
+  }
+  for (const auto& child : node->children) CollectLeaves(child.get(), out);
+}
+
+/// Walks `node` pre-order, appending one step per dropped variable; fills
+/// `subtree_atoms` with the atom indices under `node`.
+void DeriveNode(const ConjunctiveQuery& query, const PlanNode* node,
+                const std::vector<int>& order_position, int* next_id,
+                std::vector<int>* subtree_atoms,
+                std::vector<ProjectionStep>* steps) {
+  const int node_id = (*next_id)++;
+  std::vector<int> atoms;
+  if (node->IsLeaf()) {
+    atoms.push_back(node->atom_index);
+  } else {
+    for (const auto& child : node->children) {
+      DeriveNode(query, child.get(), order_position, next_id, &atoms, steps);
+    }
+  }
+
+  // Dropped = working minus projected; labels are sorted.
+  std::vector<AttrId> dropped;
+  std::set_difference(node->working.begin(), node->working.end(),
+                      node->projected.begin(), node->projected.end(),
+                      std::back_inserter(dropped));
+  for (AttrId var : dropped) {
+    ProjectionStep step;
+    step.var = var;
+    step.node_id = node_id;
+    // Witness: the subtree atom using `var` that the strategy joined
+    // last. Left at -1 when no subtree atom binds the variable (a
+    // malformed plan the checker will name).
+    int best_pos = -1;
+    for (int atom_index : atoms) {
+      if (atom_index < 0 || atom_index >= query.num_atoms()) continue;
+      if (!query.atoms()[static_cast<size_t>(atom_index)].UsesAttr(var)) {
+        continue;
+      }
+      const int pos =
+          atom_index < static_cast<int>(order_position.size())
+              ? order_position[static_cast<size_t>(atom_index)]
+              : -1;
+      if (step.witness_atom < 0 || pos > best_pos) {
+        step.witness_atom = atom_index;
+        best_pos = pos;
+      }
+    }
+    steps->push_back(step);
+  }
+  subtree_atoms->insert(subtree_atoms->end(), atoms.begin(), atoms.end());
+}
+
+}  // namespace
+
+std::string RewriteCertificate::ToString() const {
+  std::ostringstream out;
+  out << "strategy: " << strategy << "\natom order:";
+  for (int a : atom_order) out << " " << a;
+  if (!elimination_order.empty()) {
+    out << "\nelimination order:";
+    for (AttrId a : elimination_order) out << " x" << a;
+  }
+  out << "\nsteps (" << steps.size() << "):";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out << "\n  [" << i << "] drop x" << steps[i].var << " at node "
+        << steps[i].node_id << ", witness atom " << steps[i].witness_atom;
+  }
+  return out.str();
+}
+
+std::vector<int> PreOrderLeafAtoms(const Plan& plan) {
+  std::vector<int> leaves;
+  if (!plan.empty()) CollectLeaves(plan.root(), &leaves);
+  return leaves;
+}
+
+std::vector<ProjectionStep> DeriveProjectionSteps(
+    const ConjunctiveQuery& query, const Plan& plan,
+    const std::vector<int>& atom_order) {
+  std::vector<ProjectionStep> steps;
+  if (plan.empty()) return steps;
+  // order_position[atom] = rank of the atom in the strategy's order.
+  std::vector<int> order_position(static_cast<size_t>(query.num_atoms()), -1);
+  for (size_t i = 0; i < atom_order.size(); ++i) {
+    const int atom = atom_order[i];
+    if (atom >= 0 && atom < query.num_atoms()) {
+      order_position[static_cast<size_t>(atom)] = static_cast<int>(i);
+    }
+  }
+  int next_id = 0;
+  std::vector<int> subtree_atoms;
+  DeriveNode(query, plan.root(), order_position, &next_id, &subtree_atoms,
+             &steps);
+  return steps;
+}
+
+}  // namespace ppr

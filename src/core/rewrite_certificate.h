@@ -1,0 +1,75 @@
+#ifndef PPR_CORE_REWRITE_CERTIFICATE_H_
+#define PPR_CORE_REWRITE_CERTIFICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/plan.h"
+#include "query/conjunctive_query.h"
+
+namespace ppr {
+
+/// One projection point of a rewrite, in the terms of the paper's
+/// Section 4 safety condition: variable `var` is dropped at plan node
+/// `node_id` (pre-order numbering, root = 0) and `witness_atom` is the
+/// atom carrying the *last occurrence* of `var` in the strategy's atom
+/// order — once that atom has been joined, no atom outside the node's
+/// subtree mentions `var`, so projecting it cannot change the answer.
+struct ProjectionStep {
+  AttrId var = kNoAttr;
+  int node_id = -1;
+  int witness_atom = -1;
+};
+
+/// Machine-checkable trace of the rewrite a strategy performed to turn a
+/// query into a plan: the atom permutation it chose, every projection
+/// point with its last-occurrence witness (Section 4), and — for bucket
+/// elimination — the variable numbering the buckets were processed along
+/// (Section 5, normally the MCS numbering). The strategies of
+/// core/strategies.h emit one on request; the independent checker
+/// (analysis/semantic/certificate_checker.h) re-validates every step from
+/// first principles, so a broken rewrite is reported as *which step*
+/// violated the safety condition rather than "plans differ".
+struct RewriteCertificate {
+  /// StrategyName() of the emitting strategy ("early", "bucket", ...).
+  std::string strategy;
+  /// Atom indices in the order the strategy joins them. For left-deep
+  /// strategies this is the chosen permutation; for tree-shaped plans it
+  /// is the pre-order leaf sequence. Always the pre-order leaf sequence
+  /// of the emitted plan.
+  std::vector<int> atom_order;
+  /// Bucket elimination only: the variable numbering x_1..x_n (free
+  /// variables first, as Section 5 requires). Empty for other strategies.
+  std::vector<AttrId> elimination_order;
+  /// Every projection point of the plan, each with its witness.
+  std::vector<ProjectionStep> steps;
+
+  bool empty() const {
+    return strategy.empty() && atom_order.empty() && steps.empty();
+  }
+
+  /// Human-readable rendering for failure messages and debugging.
+  std::string ToString() const;
+};
+
+/// Pre-order leaf sequence of `plan`: the atom index of each leaf, root
+/// first, children left to right — the canonical "atom permutation" a
+/// certificate records.
+std::vector<int> PreOrderLeafAtoms(const Plan& plan);
+
+/// Derives the projection steps of `plan` for a strategy that joined the
+/// atoms along `atom_order`: for every node and every variable dropped
+/// there (working minus projected), emits one ProjectionStep whose
+/// witness is the atom of the node's subtree that occurs *latest* in
+/// `atom_order` among the atoms using the variable. Steps are emitted in
+/// pre-order, variables ascending. This is the emission helper the
+/// strategies share; it states the strategy's claim, and the checker
+/// re-validates it without trusting this derivation.
+std::vector<ProjectionStep> DeriveProjectionSteps(
+    const ConjunctiveQuery& query, const Plan& plan,
+    const std::vector<int>& atom_order);
+
+}  // namespace ppr
+
+#endif  // PPR_CORE_REWRITE_CERTIFICATE_H_

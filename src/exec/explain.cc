@@ -1,6 +1,7 @@
 #include "exec/explain.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -137,8 +138,14 @@ std::string ExplainResult::ToString() const {
       << " max_intermediate_rows=" << stats.max_intermediate_rows
       << " peak_bytes=" << stats.peak_bytes
       << " num_semijoins=" << stats.num_semijoins << "\n";
-  if (!verifier_verdict.empty()) {
-    out << "-- verifier: " << verifier_verdict << "\n";
+  if (!verifier_verdict.empty() || !semantic_verdict.empty()) {
+    out << "-- verifier: "
+        << (verifier_verdict.empty() ? "not run" : verifier_verdict);
+    if (!semantic_verdict.empty()) {
+      out << " | semantics: " << semantic_verdict << " (" << semantic_ns
+          << " ns)";
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -177,6 +184,20 @@ ExplainResult ExplainPlan(const ConjunctiveQuery& query, const Plan& plan,
   if (verify && hooks->logical) {
     Status verdict = hooks->logical(query, plan, db);
     result.verifier_verdict = verdict.ok() ? "OK" : verdict.ToString();
+    if (!verdict.ok()) {
+      result.status = verdict;
+      return result;
+    }
+  }
+  // Semantic tier (independently gated): certify the plan denotes the
+  // query, and surface what the proof cost beside its verdict.
+  if (SemanticVerificationEnabled() && hooks->semantic) {
+    const auto start = std::chrono::steady_clock::now();
+    Status verdict = hooks->semantic(query, plan, db, nullptr);
+    result.semantic_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    result.semantic_verdict = verdict.ok() ? "OK" : verdict.ToString();
     if (!verdict.ok()) {
       result.status = verdict;
       return result;

@@ -71,6 +71,16 @@ struct ExplainResult {
   /// reports the violation here (and fails `status` with Internal).
   std::string verifier_verdict;
 
+  /// Semantic-certification verdict ("OK" or the failure) when semantic
+  /// verification (PPR_VERIFY_SEMANTICS / EnableSemanticVerification) is
+  /// on and a verifier with a `semantic` hook is installed; empty when
+  /// the tier did not run. A failure also fails `status`.
+  std::string semantic_verdict;
+  /// Wall time the semantic certification cost, in nanoseconds; -1 when
+  /// the tier did not run. Rendered on the `-- verifier:` line so EXPLAIN
+  /// shows what the proof costs next to what it proved.
+  int64_t semantic_ns = -1;
+
   /// True when the run was profiled with per-operator spans (ANALYZE
   /// mode) and the per-node actuals above are meaningful.
   bool analyzed = false;

@@ -188,6 +188,13 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const ConjunctiveQuery& query,
     Status verdict = hooks->compiled(query, plan, db, compiled);
     if (!verdict.ok()) return verdict;
   }
+  // Third tier, independently gated: prove the plan (logical and
+  // compiled) still *denotes the query* — the structural passes above
+  // only prove the tree well-formed.
+  if (SemanticVerificationEnabled() && hooks->semantic) {
+    Status verdict = hooks->semantic(query, plan, db, &compiled);
+    if (!verdict.ok()) return verdict;
+  }
   return compiled;
 }
 

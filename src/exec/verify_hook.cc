@@ -21,6 +21,7 @@ struct HookState {
   /// (common/env.h), not a getenv call, so compilation on runtime worker
   /// threads (plan-cache misses) never reads the environment.
   std::atomic<bool> enabled{ProcessEnv().verify_plans};
+  std::atomic<bool> semantic_enabled{ProcessEnv().verify_semantics};
 };
 
 HookState& State() {
@@ -51,6 +52,14 @@ void EnablePlanVerification(bool on) {
 
 bool PlanVerificationEnabled() {
   return State().enabled.load(std::memory_order_acquire);
+}
+
+void EnableSemanticVerification(bool on) {
+  State().semantic_enabled.store(on, std::memory_order_release);
+}
+
+bool SemanticVerificationEnabled() {
+  return State().semantic_enabled.load(std::memory_order_acquire);
 }
 
 }  // namespace ppr

@@ -60,6 +60,17 @@ struct PlanVerifierHooks {
   std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
                        const MorselAccounting&)>
       morsel_accounting;
+  /// Semantic translation validation (analysis/semantic/certify.h): a
+  /// third verifier tier beyond structural checks — extracts the
+  /// conjunctive query the plan *denotes* and proves it Chandra–Merlin
+  /// equivalent to the original. `physical` is the compiled plan when one
+  /// exists (PhysicalPlan::Compile) and null on logical-only paths
+  /// (ExplainPlan). Gated independently by PPR_VERIFY_SEMANTICS /
+  /// EnableSemanticVerification, so it composes with — but does not
+  /// require — the structural tier.
+  std::function<Status(const ConjunctiveQuery&, const Plan&, const Database&,
+                       const PhysicalPlan* physical)>
+      semantic;
 };
 
 /// Installs the hooks (replacing any previous ones). Safe to call while
@@ -87,6 +98,15 @@ std::shared_ptr<const PlanVerifierHooks> GetPlanVerifierHooks();
 /// enabled.
 void EnablePlanVerification(bool on);
 bool PlanVerificationEnabled();
+
+/// Independent gate for the semantic tier. Starts ON when the environment
+/// sets PPR_VERIFY_SEMANTICS to anything but "0"; toggled
+/// programmatically like EnablePlanVerification. The `semantic` hook
+/// fires when installed and this gate is on, regardless of the
+/// structural gate — semantic certification is meaningful (and much
+/// stronger) on its own.
+void EnableSemanticVerification(bool on);
+bool SemanticVerificationEnabled();
 
 }  // namespace ppr
 

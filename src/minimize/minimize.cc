@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -36,22 +37,49 @@ Database CanonicalDatabase(const ConjunctiveQuery& query) {
 
 namespace {
 
-bool SameFreeVarSet(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+std::string RenderVars(const std::vector<AttrId>& vars) {
+  std::string out = "{";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "x" + std::to_string(vars[i]);
+  }
+  return out + "}";
+}
+
+/// OK when the two queries project the same variable set; otherwise an
+/// InvalidArgument naming every offending variable on each side, so a
+/// schema mismatch (the typical symptom of a plan that dropped or
+/// fabricated a head variable) is diagnosable from the message alone.
+Status CheckSameFreeVarSet(const ConjunctiveQuery& a,
+                           const ConjunctiveQuery& b) {
   std::vector<AttrId> fa = a.free_vars();
   std::vector<AttrId> fb = b.free_vars();
   std::sort(fa.begin(), fa.end());
   std::sort(fb.begin(), fb.end());
-  return fa == fb;
+  if (fa == fb) return Status::Ok();
+  std::vector<AttrId> only_a;
+  std::vector<AttrId> only_b;
+  std::set_difference(fa.begin(), fa.end(), fb.begin(), fb.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(fb.begin(), fb.end(), fa.begin(), fa.end(),
+                      std::back_inserter(only_b));
+  std::string msg = "containment requires identical target schemas: ";
+  if (!only_a.empty()) {
+    msg += RenderVars(only_a) + " free only in the first query";
+  }
+  if (!only_b.empty()) {
+    if (!only_a.empty()) msg += "; ";
+    msg += RenderVars(only_b) + " free only in the second query";
+  }
+  return Status::InvalidArgument(std::move(msg));
 }
 
 }  // namespace
 
 Result<bool> IsContainedIn(const ConjunctiveQuery& q_sub,
                            const ConjunctiveQuery& q_super) {
-  if (!SameFreeVarSet(q_sub, q_super)) {
-    return Status::InvalidArgument(
-        "containment requires identical target schemas");
-  }
+  Status same = CheckSameFreeVarSet(q_sub, q_super);
+  if (!same.ok()) return same;
   const Database canonical = CanonicalDatabase(q_sub);
   Status valid = q_super.Validate(canonical);
   if (!valid.ok()) {

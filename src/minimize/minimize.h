@@ -23,7 +23,10 @@ Database CanonicalDatabase(const ConjunctiveQuery& query);
 /// tuple on the free variables. Both queries must have the same free
 /// variable set (returns InvalidArgument otherwise). Evaluation uses
 /// bucket elimination with the MCS order — the paper's best strategy —
-/// so even 100-atom queries are checked quickly.
+/// so even 100-atom queries are checked quickly. On a free-variable
+/// mismatch the error names every offending variable on each side.
+/// Boolean queries (empty target schemas on both sides) reduce to
+/// nonemptiness of the evaluation, per Chandra–Merlin.
 Result<bool> IsContainedIn(const ConjunctiveQuery& q_sub,
                            const ConjunctiveQuery& q_super);
 

@@ -59,6 +59,72 @@ TEST(ContainmentTest, DifferentTargetSchemasRejected) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(ContainmentTest, SchemaMismatchErrorNamesOffendingVariables) {
+  ConjunctiveQuery a({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}}, {0, 2});
+  ConjunctiveQuery b({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}}, {0, 1});
+  Result<bool> r = IsContainedIn(a, b);
+  ASSERT_FALSE(r.ok());
+  // The variables free on exactly one side must both be named: x2 (only
+  // in a) and x1 (only in b).
+  EXPECT_NE(r.status().message().find("x2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("x1"), std::string::npos)
+      << r.status().message();
+  // Equivalence goes through containment and reports the same way.
+  Result<bool> eq = AreEquivalent(a, b);
+  ASSERT_FALSE(eq.ok());
+  EXPECT_NE(eq.status().message().find("x2"), std::string::npos);
+}
+
+TEST(ContainmentTest, BooleanAgainstNonBooleanNamesTheVariable) {
+  ConjunctiveQuery boolean({Atom{"r", {0, 1}}}, {});
+  ConjunctiveQuery unary({Atom{"r", {0, 1}}}, {0});
+  Result<bool> r = IsContainedIn(boolean, unary);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("x0"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ContainmentTest, BooleanQueriesUseNonemptiness) {
+  // Nullary-head (Boolean) queries on both sides: containment reduces to
+  // nonemptiness of q_super over q_sub's canonical database.
+  ConjunctiveQuery path({Atom{"r", {0, 1}}, Atom{"r", {1, 2}}}, {});
+  ConjunctiveQuery edge({Atom{"r", {0, 1}}}, {});
+  EXPECT_TRUE(*IsContainedIn(path, edge));
+  // Not the other way: over edge's canonical database {(0,1)} the
+  // two-step pattern needs consecutive tuples, and there are none.
+  EXPECT_FALSE(*IsContainedIn(edge, path));
+  EXPECT_FALSE(*AreEquivalent(path, edge));
+  EXPECT_TRUE(*AreEquivalent(path, path));
+}
+
+TEST(ContainmentTest, BooleanSelfLoopAbsorbsEverything) {
+  // r(x,x) maps into any query's canonical database only if a loop
+  // exists; conversely every Boolean query maps into the loop database.
+  ConjunctiveQuery loop({Atom{"r", {0, 0}}}, {});
+  ConjunctiveQuery triangle(
+      {Atom{"r", {0, 1}}, Atom{"r", {1, 2}}, Atom{"r", {2, 0}}}, {});
+  EXPECT_TRUE(*IsContainedIn(loop, triangle));
+  EXPECT_FALSE(*IsContainedIn(triangle, loop));
+}
+
+TEST(MinimizeTest, BooleanEvenCycleMinimizesToAnEdge) {
+  // The Boolean symmetric 4-cycle retracts all the way to one symmetric
+  // edge pair — with no free vertex pinning the retraction, unlike the
+  // unary variant below.
+  std::vector<Atom> atoms;
+  const int kCycle[4][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (const auto& e : kCycle) {
+    atoms.push_back(Atom{"edge", {e[0], e[1]}});
+    atoms.push_back(Atom{"edge", {e[1], e[0]}});
+  }
+  ConjunctiveQuery q(atoms, {});
+  Result<ConjunctiveQuery> core = MinimizeQuery(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->num_atoms(), 2);
+  EXPECT_TRUE(*AreEquivalent(q, *core));
+}
+
 TEST(ContainmentTest, ForeignRelationMeansNotContained) {
   ConjunctiveQuery a({Atom{"r", {0, 1}}}, {0});
   ConjunctiveQuery b({Atom{"r", {0, 1}}, Atom{"s", {0}}}, {0});

@@ -6,6 +6,16 @@
 // VerifyPhysicalPlan — and assert the verifier rejects 100% of mutants
 // while still accepting every pristine plan. Each mutation class must
 // fire often enough that a silently-dead check would be noticed.
+//
+// The semantic classes at the bottom go one tier up
+// (analysis/semantic/certify.h): they corrupt the *query* the plan was
+// built for (dropped atom, swapped head variable, merged variables) —
+// producing plans that pass every build-time structural check for the
+// mutated query, the cache-mixup a reuse-time structural pass never
+// ran against — or seed a premature projection with consistent labels,
+// and assert the Chandra–Merlin certifier rejects the mutants or,
+// when it accepts one, that the plan provably still computes the
+// original query's answer.
 
 #include <gtest/gtest.h>
 
@@ -18,12 +28,15 @@
 
 #include "analysis/physical_verifier.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/semantic/certify.h"
 #include "benchlib/harness.h"
 #include "common/rng.h"
 #include "encode/kcolor.h"
 #include "encode/sat.h"
+#include "exec/executor.h"
 #include "exec/physical_plan.h"
 #include "graph/generators.h"
+#include "minimize/minimize.h"
 #include "test_util.h"
 
 namespace ppr {
@@ -395,6 +408,245 @@ TEST(PlanMutationFuzzTest, PhysicalVerifierRejectsEveryCorruption) {
         << "mutation class '" << mutator.name << "' barely exercised";
     EXPECT_EQ(rejected[mutator.name], applied[mutator.name]);
   }
+}
+
+// ---------------------------------------------------------------------
+// Semantic mutators: corrupt the *query*, not the tree. The resulting
+// plan is a perfectly well-formed plan — for the wrong query (the
+// cache-mixup scenario), which no structural pass can see. Each returns
+// whether the mutation applied.
+
+using QueryMutator = bool (*)(const ConjunctiveQuery&, ConjunctiveQuery*,
+                              Rng&);
+
+std::vector<AttrId> BoundVars(const ConjunctiveQuery& query) {
+  std::vector<AttrId> bound;
+  for (AttrId a : query.AllAttrs()) {
+    if (std::find(query.free_vars().begin(), query.free_vars().end(), a) ==
+        query.free_vars().end()) {
+      bound.push_back(a);
+    }
+  }
+  return bound;
+}
+
+bool DropAtomFromQuery(const ConjunctiveQuery& query, ConjunctiveQuery* out,
+                       Rng& rng) {
+  if (query.num_atoms() < 2) return false;
+  const size_t drop = rng.NextBounded(
+      static_cast<uint64_t>(query.num_atoms()));
+  std::vector<Atom> atoms;
+  for (size_t i = 0; i < query.atoms().size(); ++i) {
+    if (i != drop) atoms.push_back(query.atoms()[i]);
+  }
+  for (AttrId f : query.free_vars()) {
+    const bool used = std::any_of(
+        atoms.begin(), atoms.end(),
+        [f](const Atom& atom) { return atom.UsesAttr(f); });
+    if (!used) return false;  // would invalidate the target schema
+  }
+  *out = ConjunctiveQuery(std::move(atoms), query.free_vars());
+  return true;
+}
+
+bool SwapHeadVariable(const ConjunctiveQuery& query, ConjunctiveQuery* out,
+                      Rng& rng) {
+  if (query.free_vars().empty()) return false;
+  std::vector<AttrId> bound = BoundVars(query);
+  if (bound.empty()) return false;
+  std::vector<AttrId> head = query.free_vars();
+  head[rng.NextBounded(head.size())] = bound[rng.NextBounded(bound.size())];
+  std::sort(head.begin(), head.end());
+  *out = ConjunctiveQuery(query.atoms(), std::move(head));
+  return true;
+}
+
+bool MergeDistinctVariables(const ConjunctiveQuery& query,
+                            ConjunctiveQuery* out, Rng& rng) {
+  std::vector<AttrId> bound = BoundVars(query);
+  if (bound.size() < 2) return false;
+  const size_t keep_at = rng.NextBounded(bound.size());
+  size_t gone_at = rng.NextBounded(bound.size() - 1);
+  if (gone_at >= keep_at) gone_at++;
+  const AttrId keep = bound[keep_at];
+  const AttrId gone = bound[gone_at];
+  std::vector<Atom> atoms = query.atoms();
+  for (Atom& atom : atoms) {
+    for (AttrId& arg : atom.args) {
+      if (arg == gone) arg = keep;
+    }
+  }
+  *out = ConjunctiveQuery(std::move(atoms), query.free_vars());
+  return true;
+}
+
+struct NamedQueryMutator {
+  const char* name;
+  QueryMutator apply;
+};
+
+constexpr NamedQueryMutator kQueryMutators[] = {
+    {"drop-atom", DropAtomFromQuery},
+    {"swap-head-variable", SwapHeadVariable},
+    {"merge-distinct-variables", MergeDistinctVariables},
+};
+
+TEST(SemanticMutationFuzzTest, CertifierIsSoundOnWrongQueryPlans) {
+  // The cache-mixup scenario end to end: a plan is built — and passes
+  // every build-time structural check — for the mutated query, then
+  // gets served for the original one. At reuse time the only line of
+  // defense is the semantic certifier, which interprets the plan's leaf
+  // indices and labels under the query it is *asked about*. It must
+  // either reject, or accept only when the plan really still computes
+  // the original query (a dropped lone variable, a redundant atom) —
+  // checked against the actual database, which is safe to run precisely
+  // because acceptance proves the plan well-formed under that query.
+  Rng rng(0xc0ffee);
+  std::map<std::string, int> applied;
+  std::map<std::string, int> caught;
+  constexpr int kTrials = 150;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Workload w = RandomWorkload(rng);
+    const NamedQueryMutator& mutator =
+        kQueryMutators[rng.NextBounded(std::size(kQueryMutators))];
+    ConjunctiveQuery mutated;
+    if (!mutator.apply(w.query, &mutated, rng)) continue;
+    if (!mutated.Validate(w.db).ok()) continue;
+
+    const Plan plan =
+        BuildStrategyPlan(RandomStrategy(rng), mutated, rng.NextU64());
+    ASSERT_TRUE(VerifyLogicalPlan(mutated, plan, &w.db).ok())
+        << "plan for mutated query rejected structurally on trial " << trial;
+    applied[mutator.name]++;
+
+    const CertificationReport report = CertifyPlan(w.query, plan);
+    if (!report.ok()) {
+      caught[mutator.name]++;
+      continue;
+    }
+    // The certifier vouched for the wrong-query plan. That can be
+    // legitimate — but then the plan must produce exactly the original
+    // query's answer.
+    ExecutionResult expect = ExecuteStraightforward(w.query, w.db);
+    ExecutionResult got = ExecutePlan(w.query, plan, w.db);
+    ASSERT_TRUE(expect.status.ok());
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_TRUE(expect.output.SetEquals(got.output))
+        << "certifier accepted a '" << mutator.name
+        << "' wrong-query plan that changes the answer on trial " << trial
+        << "\n  query: " << w.query.ToString()
+        << "\n  mutant: " << mutated.ToString();
+  }
+  for (const NamedQueryMutator& mutator : kQueryMutators) {
+    EXPECT_GE(applied[mutator.name], 10)
+        << "mutation class '" << mutator.name << "' barely exercised";
+    EXPECT_GE(caught[mutator.name], 5)
+        << "mutation class '" << mutator.name
+        << "' was never rejected — the certifier is not looking";
+  }
+}
+
+// Premature projection with consistent labels: remove an attribute from
+// an internal node's projected label even though the attribute occurs
+// again outside the subtree, then re-derive every ancestor's labels so
+// the tree stays label-consistent. Only the Section 4 safety condition
+// is violated — there is no last-occurrence witness for the drop.
+
+void CollectSubtreeAtoms(const PlanNode* node, std::vector<int>* out) {
+  if (node->IsLeaf()) out->push_back(node->atom_index);
+  for (const auto& child : node->children) {
+    CollectSubtreeAtoms(child.get(), out);
+  }
+}
+
+void RederiveLabels(PlanNode* node) {
+  if (node->IsLeaf()) return;
+  for (auto& child : node->children) RederiveLabels(child.get());
+  std::vector<AttrId> working;
+  for (const auto& child : node->children) {
+    working.insert(working.end(), child->projected.begin(),
+                   child->projected.end());
+  }
+  std::sort(working.begin(), working.end());
+  working.erase(std::unique(working.begin(), working.end()), working.end());
+  node->working = working;
+  std::vector<AttrId> projected;
+  for (AttrId a : node->projected) {
+    if (std::binary_search(working.begin(), working.end(), a)) {
+      projected.push_back(a);
+    }
+  }
+  node->projected = std::move(projected);
+}
+
+bool SeedPrematureProjection(const ConjunctiveQuery& query, Plan& plan,
+                             Rng& rng) {
+  std::vector<PlanNode*> nodes;
+  CollectNodes(plan.mutable_root(), &nodes);
+  // Candidates: (non-root internal node, attr) where the attr occurs in
+  // an atom outside the node's subtree — dropping it there severs a
+  // live unification.
+  std::vector<std::pair<PlanNode*, AttrId>> candidates;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    PlanNode* node = nodes[i];
+    if (node->IsLeaf()) continue;
+    std::vector<int> subtree;
+    CollectSubtreeAtoms(node, &subtree);
+    for (AttrId a : node->projected) {
+      for (int atom = 0; atom < query.num_atoms(); ++atom) {
+        if (std::find(subtree.begin(), subtree.end(), atom) !=
+            subtree.end()) {
+          continue;
+        }
+        if (query.atoms()[static_cast<size_t>(atom)].UsesAttr(a)) {
+          candidates.emplace_back(node, a);
+          break;
+        }
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  auto [node, attr] = candidates[rng.NextBounded(candidates.size())];
+  node->projected.erase(
+      std::find(node->projected.begin(), node->projected.end(), attr));
+  RederiveLabels(plan.mutable_root());
+  return true;
+}
+
+TEST(SemanticMutationFuzzTest, CertifierCatchesPrematureProjections) {
+  Rng rng(0xfeedface);
+  int applied = 0;
+  int caught = 0;
+  constexpr int kTrials = 80;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Workload w = RandomWorkload(rng);
+    const Plan pristine =
+        BuildStrategyPlan(RandomStrategy(rng), w.query, rng.NextU64());
+    Plan mutant = ClonePlan(pristine);
+    if (!SeedPrematureProjection(w.query, mutant, rng)) continue;
+    applied++;
+    const CertificationReport report = CertifyPlan(w.query, mutant);
+    if (!report.ok()) {
+      caught++;
+    } else {
+      // The certifier accepting means it proved the severed unification
+      // harmless; cross-check the claim on the actual database — the
+      // mutant must then produce exactly the pristine answer.
+      ExecutionResult expect = ExecutePlan(w.query, pristine, w.db);
+      ExecutionResult got = ExecutePlan(w.query, mutant, w.db);
+      ASSERT_TRUE(expect.status.ok());
+      ASSERT_TRUE(got.status.ok());
+      EXPECT_TRUE(expect.output.SetEquals(got.output))
+          << "certifier accepted a premature projection that changes the "
+             "answer on trial "
+          << trial;
+    }
+  }
+  EXPECT_GE(applied, 20) << "premature-projection class barely exercised";
+  // Severing a live unification usually changes the query; the rare
+  // accepted mutant went through the answer-equality oracle above.
+  EXPECT_GE(caught, applied / 2);
+  EXPECT_GE(caught, 10);
 }
 
 }  // namespace
