@@ -6,8 +6,10 @@
 #include "common/rng.h"
 #include "core/strategies.h"
 #include "exec/physical_plan.h"
+#include "obs/telemetry/query_log.h"
 #include "obs/trace.h"
 #include "query/conjunctive_query.h"
+#include "runtime/batch_executor.h"
 #include "relational/database.h"
 #include "relational/exec_context.h"
 #include "relational/batch_ops.h"
@@ -168,6 +170,59 @@ void BM_CompiledPlanExecuteColumnar(benchmark::State& state) {
   state.SetItemsProcessed(produced);
 }
 BENCHMARK(BM_CompiledPlanExecuteColumnar)->Range(1 << 8, 1 << 13);
+
+// Telemetry twins: the BM_CompiledPlanExecute workload submitted through
+// BatchExecutor one job at a time, with the query log off (the disabled
+// path costs one null-check branch per job) and on (record assembly,
+// sharded append, latency-bucket fold; the flush is a no-op because the
+// in-memory log has no export path). The acceptance bar for the
+// telemetry pillar: On within 2% of Off.
+void BM_BatchExecuteTelemetryOff(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  DisableQueryLog();
+  Database db;
+  db.Put("R", RandomRelation({0, 1}, rows, 100, 11));
+  db.Put("S", RandomRelation({1, 2}, rows, 100, 12));
+  std::vector<BatchJob> jobs(1);
+  jobs[0].query = ConjunctiveQuery({{"R", {0, 1}}, {"S", {1, 2}}}, {0, 2});
+  jobs[0].strategy = StrategyKind::kEarlyProjection;
+  BatchOptions options;
+  MetricsRegistry scratch;
+  options.metrics = &scratch;
+  BatchExecutor executor(db, options);
+  int64_t produced = 0;
+  for (auto _ : state) {
+    BatchResult result = executor.Run(jobs);
+    produced += static_cast<int64_t>(result.totals.tuples_produced);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(produced);
+}
+BENCHMARK(BM_BatchExecuteTelemetryOff)->Range(1 << 8, 1 << 13);
+
+void BM_BatchExecuteTelemetryOn(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  EnableQueryLog("");  // in-memory: no JSONL export in the loop
+  Database db;
+  db.Put("R", RandomRelation({0, 1}, rows, 100, 11));
+  db.Put("S", RandomRelation({1, 2}, rows, 100, 12));
+  std::vector<BatchJob> jobs(1);
+  jobs[0].query = ConjunctiveQuery({{"R", {0, 1}}, {"S", {1, 2}}}, {0, 2});
+  jobs[0].strategy = StrategyKind::kEarlyProjection;
+  BatchOptions options;
+  MetricsRegistry scratch;
+  options.metrics = &scratch;
+  BatchExecutor executor(db, options);
+  int64_t produced = 0;
+  for (auto _ : state) {
+    BatchResult result = executor.Run(jobs);
+    produced += static_cast<int64_t>(result.totals.tuples_produced);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(produced);
+  DisableQueryLog();
+}
+BENCHMARK(BM_BatchExecuteTelemetryOn)->Range(1 << 8, 1 << 13);
 
 void BM_NaturalJoinColumnar(benchmark::State& state) {
   const int64_t rows = state.range(0);

@@ -27,11 +27,26 @@
 #include "benchlib/harness.h"
 #include "common/env.h"
 #include "encode/kcolor.h"
+#include "obs/metrics.h"
 #include "runtime/batch_executor.h"
 
 namespace {
 
 using namespace ppr;
+
+// Per-job wall-time tail for one sweep point, through the same 65-bucket
+// log2 histogram the metrics registry uses — so the printed p50/p99 agree
+// with the quantiles BENCH_runtime.json carries.
+std::string TailQuantile(const std::vector<ExecutionResult>& results,
+                         double q) {
+  Log2Histogram hist;
+  for (const ExecutionResult& res : results) {
+    hist.Record(static_cast<uint64_t>(res.seconds * 1e9));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", hist.Quantile(q) / 1e6);
+  return buf;
+}
 
 int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
   const std::string prefix = std::string("--") + name + "=";
@@ -115,7 +130,7 @@ int main(int argc, char** argv) {
               spec.num_vertices, spec.density);
 
   SeriesTable table("threads", {"seconds", "queries/s", "speedup",
-                                "hit_rate", "timeouts"});
+                                "hit_rate", "timeouts", "p50", "p99"});
   double base_seconds = 0.0;
 
   // Uncached single-thread baseline: what the engine did before this
@@ -133,7 +148,8 @@ int main(int argc, char** argv) {
     table.AddRow("1 (no cache)",
                  {FormatSeconds(r.seconds),
                   FormatSeconds(static_cast<double>(r.num_jobs()) / r.seconds),
-                  "1.000", "-", std::to_string(timeouts)});
+                  "1.000", "-", std::to_string(timeouts),
+                  TailQuantile(r.results, 0.5), TailQuantile(r.results, 0.99)});
   }
 
   for (const int threads : ThreadCounts(argc, argv)) {
@@ -157,7 +173,8 @@ int main(int argc, char** argv) {
     table.AddRow(std::to_string(threads),
                  {FormatSeconds(r.seconds),
                   FormatSeconds(static_cast<double>(r.num_jobs()) / r.seconds),
-                  speedup, hit_rate, std::to_string(timeouts)});
+                  speedup, hit_rate, std::to_string(timeouts),
+                  TailQuantile(r.results, 0.5), TailQuantile(r.results, 0.99)});
   }
 
   if (HasFlag(argc, argv, "csv")) {

@@ -5,9 +5,16 @@
 //   ./examples/query_tool --query='pi{X} edge(X,Y) & edge(Y,Z) & edge(X,Z)'
 //                         [--db=colors3|colors2|sat3|sat2]
 //                         [--emit=none|sql|dot|explain] [--strategy=bucket]
+//                         [--metrics] [--query-log=PATH]
 //
 // Example: the triangle query above is nonempty over colors3 (a triangle
 // is 3-colorable) and empty over colors2.
+//
+// --metrics prints, after each strategy's execution, the metrics that
+// run contributed (its registry delta, as JSONL — including the
+// p50/p90/p99 lines on every histogram). --query-log=PATH enables the
+// telemetry query log and exports one structured record per executed
+// (query, strategy) job to PATH; render it with `tools/pprstat log PATH`.
 
 #include <cstdio>
 #include <cstring>
@@ -21,7 +28,10 @@
 #include "exec/executor.h"
 #include "exec/explain.h"
 #include "io/dot.h"
+#include "obs/metrics.h"
+#include "obs/telemetry/query_log.h"
 #include "query/parser.h"
+#include "runtime/batch_executor.h"
 #include "sql/sql_generator.h"
 
 namespace {
@@ -35,6 +45,14 @@ const char* FlagValue(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -53,6 +71,10 @@ int main(int argc, char** argv) {
   const std::string emit = FlagValue(argc, argv, "emit", "none");
   const std::string strategy_name =
       FlagValue(argc, argv, "strategy", "bucket");
+  const bool show_metrics = HasFlag(argc, argv, "metrics");
+  const std::string query_log_path =
+      FlagValue(argc, argv, "query-log", "");
+  if (!query_log_path.empty()) EnableQueryLog(query_log_path);
 
   Result<ParsedQuery> parsed = ParseQuery(text);
   if (!parsed.ok()) {
@@ -82,21 +104,45 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Executions run through BatchExecutor (one job per strategy) so the
+  // telemetry pipeline sees them: --query-log records populate at the
+  // batch drain exactly as in the runtime, and --metrics reads each
+  // run's contribution from a private registry the drain merges into.
+  MetricsRegistry run_metrics;
+  BatchOptions batch_options;
+  batch_options.num_threads = 1;
+  batch_options.metrics = &run_metrics;
+  BatchExecutor executor(db, batch_options);
+
   std::printf("\n%-16s %-6s %-10s %-9s %s\n", "strategy", "width",
               "tuples", "seconds", "answer");
   for (StrategyKind kind : AllStrategies()) {
     Plan plan = BuildStrategyPlan(kind, query, /*seed=*/0);
-    ExecutionResult r = ExecutePlan(query, plan, db, 100'000'000);
+    BatchJob job;
+    job.query = query;
+    job.strategy = kind;
+    job.tuple_budget = 100'000'000;
+    run_metrics.Clear();
+    BatchResult batch = executor.Run({job});
+    const ExecutionResult& r = batch.results[0];
     if (!r.status.ok()) {
       std::printf("%-16s %-6d %s\n", StrategyName(kind), plan.Width(),
                   r.status.ToString().c_str());
-      continue;
+    } else {
+      std::printf("%-16s %-6d %-10lld %-9.4f %s (%lld rows)\n",
+                  StrategyName(kind), plan.Width(),
+                  static_cast<long long>(r.stats.tuples_produced), r.seconds,
+                  r.nonempty() ? "nonempty" : "empty",
+                  static_cast<long long>(r.output.size()));
     }
-    std::printf("%-16s %-6d %-10lld %-9.4f %s (%lld rows)\n",
-                StrategyName(kind), plan.Width(),
-                static_cast<long long>(r.stats.tuples_produced), r.seconds,
-                r.nonempty() ? "nonempty" : "empty",
-                static_cast<long long>(r.output.size()));
+    if (show_metrics) {
+      std::printf("-- metrics delta (%s) --\n%s", StrategyName(kind),
+                  run_metrics.ToJsonLines().c_str());
+    }
+  }
+  if (!query_log_path.empty()) {
+    std::printf("\nquery log: %s (render with tools/pprstat log)\n",
+                query_log_path.c_str());
   }
 
   StrategyKind chosen = StrategyKind::kBucketElimination;

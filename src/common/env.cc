@@ -38,6 +38,29 @@ const EnvConfig& ProcessEnv() {
       const long long n = std::atoll(env);
       if (n > 0) c.morsel_rows = n;
     }
+    if (const char* env = std::getenv("PPR_QUERY_LOG");
+        env != nullptr && env[0] != '\0') {
+      c.query_log_path = env;
+    }
+    if (const char* env = std::getenv("PPR_STATS_PORT");
+        env != nullptr && env[0] != '\0') {
+      const int port = std::atoi(env);
+      if (port >= 0 && port <= 65535) c.stats_port = port;
+    }
+    if (const char* env = std::getenv("PPR_FLIGHT_DIR");
+        env != nullptr && env[0] != '\0') {
+      c.flight_dir = env;
+    }
+    if (const char* env = std::getenv("PPR_FLIGHT_LATENCY_MULT");
+        env != nullptr && env[0] != '\0') {
+      const double mult = std::atof(env);
+      if (mult > 1.0) c.flight_latency_mult = mult;
+    }
+    if (const char* env = std::getenv("PPR_FLIGHT_SPANS");
+        env != nullptr && env[0] != '\0') {
+      const int n = std::atoi(env);
+      if (n > 0) c.flight_spans = n;
+    }
     // NOLINTEND(concurrency-mt-unsafe)
     return c;
   }();

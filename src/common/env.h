@@ -42,6 +42,32 @@ struct EnvConfig {
   /// partition is a *semantic* knob only for performance: results and
   /// merged metrics are byte-identical for any positive value.
   int64_t morsel_rows = 65536;
+
+  /// PPR_QUERY_LOG: non-empty path enables the structured query log
+  /// (obs/telemetry/query_log.h) with that file as the JSONL export
+  /// target, rewritten at every batch/morsel drain.
+  std::string query_log_path;
+
+  /// PPR_STATS_PORT: when set, the Prometheus exposition server
+  /// (obs/telemetry/stats_server.h) listens on this loopback port
+  /// (0 picks an ephemeral port). -1 means unset.
+  int stats_port = -1;
+
+  /// PPR_FLIGHT_DIR: non-empty directory enables the anomaly flight
+  /// recorder (obs/telemetry/flight_recorder.h); each triggered job
+  /// dumps a self-contained flight-<id>.json there. Implies query-record
+  /// collection even without PPR_QUERY_LOG (the recorder needs the
+  /// log's running latency medians).
+  std::string flight_dir;
+
+  /// PPR_FLIGHT_LATENCY_MULT: a job whose wall time exceeds this
+  /// multiple of the running median for its fingerprint bucket trips the
+  /// latency-outlier flight trigger.
+  double flight_latency_mult = 8.0;
+
+  /// PPR_FLIGHT_SPANS: how many trailing trace spans a flight dump
+  /// snapshots.
+  int flight_spans = 64;
 };
 
 /// The once-initialized environment snapshot. First call reads the

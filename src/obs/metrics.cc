@@ -19,7 +19,8 @@ void AppendHistogramJson(std::ostringstream& out, const std::string& name,
   out << "{\"metric\":\"" << name << "\",\"type\":\"log2_histogram\""
       << ",\"count\":" << h.count << ",\"sum\":" << h.sum
       << ",\"max\":" << h.max << ",\"mean\":" << h.Mean()
-      << ",\"buckets\":[";
+      << ",\"p50\":" << h.Quantile(0.50) << ",\"p90\":" << h.Quantile(0.90)
+      << ",\"p99\":" << h.Quantile(0.99) << ",\"buckets\":[";
   bool first = true;
   for (int b = 0; b < Log2Histogram::kNumBuckets; ++b) {
     const uint64_t n = h.buckets[static_cast<size_t>(b)];
@@ -32,6 +33,35 @@ void AppendHistogramJson(std::ostringstream& out, const std::string& name,
 }
 
 }  // namespace
+
+double Log2Histogram::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Continuous rank in (0, count]; the value sought is the rank-th
+  // smallest observation (rank 0 degenerates to the smallest).
+  const double rank = q * static_cast<double>(count);
+  uint64_t below = 0;  // observations in buckets before the current one
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(below + n) >= rank) {
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(BucketUpperBound(b - 1)) + 1.0;
+      double upper = static_cast<double>(BucketUpperBound(b));
+      // The recorded maximum pins down the reachable top of its bucket
+      // (and of every later, necessarily empty, one).
+      upper = std::min(upper, static_cast<double>(max));
+      if (upper < lower) return static_cast<double>(max);
+      const double fraction =
+          n == 0 ? 0.0
+                 : std::max(0.0, rank - static_cast<double>(below)) /
+                       static_cast<double>(n);
+      return lower + (upper - lower) * std::min(1.0, fraction);
+    }
+    below += n;
+  }
+  return static_cast<double>(max);
+}
 
 int64_t MetricsSnapshot::counter(std::string_view name) const {
   return Lookup(counters, name);

@@ -50,6 +50,18 @@ struct Log2Histogram {
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
 
+  /// Interpolated quantile estimate for q in [0, 1]: finds the bucket
+  /// holding the ceil(q*count)-th smallest recorded value and
+  /// interpolates linearly inside its [lower, upper] range (the
+  /// Prometheus histogram_quantile construction). The bucket holding the
+  /// recorded maximum is clamped to `max`, so Quantile(1.0) == max
+  /// exactly and single-bucket histograms never report past their
+  /// largest observation. Returns 0 on an empty histogram. Exactness is
+  /// bucket-resolution (one power of two); the telemetry consumers
+  /// (p50/p99 SLO lines) ask order-of-magnitude questions, matching the
+  /// histogram's design.
+  double Quantile(double q) const;
+
   /// Folds `other` into this histogram (buckets, count, and sum add; max
   /// takes the larger). Merging is commutative and associative, so a set
   /// of shard histograms folds to the same result in any order.

@@ -1,0 +1,73 @@
+#include "obs/telemetry/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace ppr {
+namespace {
+
+void AppendBucketLine(std::ostringstream& out, const std::string& name,
+                      const std::string& le, uint64_t cumulative) {
+  out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+}
+
+void AppendHistogram(std::ostringstream& out, const std::string& name,
+                     const Log2Histogram& h) {
+  out << "# TYPE " << name << " histogram\n";
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Log2Histogram::kNumBuckets; ++b) {
+    const uint64_t n = h.buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    cumulative += n;
+    // The top bucket's upper bound is UINT64_MAX; it collapses into +Inf
+    // below rather than printing a finite bound no double represents.
+    if (b >= 64) break;
+    AppendBucketLine(out, name,
+                     std::to_string(Log2Histogram::BucketUpperBound(b)),
+                     cumulative);
+  }
+  AppendBucketLine(out, name, "+Inf", h.count);
+  out << name << "_sum " << h.sum << "\n";
+  out << name << "_count " << h.count << "\n";
+  static constexpr struct {
+    const char* suffix;
+    double q;
+  } kQuantiles[] = {{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+  for (const auto& [suffix, q] : kQuantiles) {
+    out << "# TYPE " << name << suffix << " gauge\n";
+    out << name << suffix << " " << h.Quantile(q) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "ppr_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  // Prometheus names must not start a digit after the prefix is legal by
+  // construction ("ppr_"), so no further fixup is needed.
+  return out;
+}
+
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusMetricName(name);
+    out << "# TYPE " << pname << " counter\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.maxes) {
+    const std::string pname = PrometheusMetricName(name);
+    out << "# TYPE " << pname << " gauge\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    AppendHistogram(out, PrometheusMetricName(name), h);
+  }
+  return out.str();
+}
+
+}  // namespace ppr

@@ -1,0 +1,33 @@
+#ifndef PPR_OBS_TELEMETRY_PROMETHEUS_H_
+#define PPR_OBS_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ppr {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4) — the payload the stats server returns for /metrics.
+///
+/// Mapping:
+///   counters    -> `ppr_<name> counter`
+///   max gauges  -> `ppr_<name> gauge`
+///   histograms  -> `ppr_<name> histogram` with cumulative `le` buckets
+///                  on the log2 bucket upper bounds, plus `_sum`/`_count`,
+///                  plus derived `ppr_<name>_p50/_p90/_p99` gauges from
+///                  Log2Histogram::Quantile so dashboards get percentile
+///                  lines without running histogram_quantile themselves.
+///
+/// Metric names are sanitized to [a-zA-Z0-9_:] ("exec.rows_out" becomes
+/// "ppr_exec_rows_out"); output is sorted by name (the snapshot maps are
+/// ordered) so the rendering is deterministic.
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Sanitizes one metric name into a Prometheus-legal name with the
+/// "ppr_" prefix (exposed for the serializer tests and pprstat).
+std::string PrometheusMetricName(const std::string& name);
+
+}  // namespace ppr
+
+#endif  // PPR_OBS_TELEMETRY_PROMETHEUS_H_

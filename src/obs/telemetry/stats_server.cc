@@ -1,0 +1,145 @@
+#include "obs/telemetry/stats_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/obs_lock.h"
+#include "obs/telemetry/prometheus.h"
+
+namespace ppr {
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << code << " " << reason << "\r\n"
+      << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string StatsServerResponseFor(const std::string& request_line) {
+  std::istringstream line(request_line);
+  std::string method;
+  std::string path;
+  line >> method >> path;
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "method not allowed\n");
+  }
+  if (path != "/metrics" && path != "/") {
+    return HttpResponse(404, "Not Found", "try /metrics\n");
+  }
+  MetricsSnapshot snapshot;
+  {
+    MutexLock lock(GlobalObsMutex());
+    snapshot = GlobalMetrics().Snapshot();
+  }
+  return HttpResponse(200, "OK", MetricsToPrometheusText(snapshot));
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("stats server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("stats server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("stats server: bind() failed on port " +
+                            std::to_string(port));
+  }
+  if (::listen(fd, 4) < 0) {
+    ::close(fd);
+    return Status::Internal("stats server: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    return Status::Internal("stats server: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void StatsServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure (EINTR and friends)
+    }
+    char buf[2048];
+    const ssize_t n = ::recv(conn, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string request(buf);
+      const size_t eol = request.find("\r\n");
+      SendAll(conn,
+              StatsServerResponseFor(
+                  eol == std::string::npos ? request : request.substr(0, eol)));
+    }
+    ::close(conn);
+  }
+}
+
+void StatsServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() unblocks the accept(2) the serve thread is parked in;
+  // close() alone is not guaranteed to.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+StatsServer& GlobalStatsServer() {
+  static StatsServer server;
+  return server;
+}
+
+Status StartStatsServerFromEnv() {
+  const EnvConfig& env = ProcessEnv();
+  if (env.stats_port < 0) return Status::Ok();
+  StatsServer& server = GlobalStatsServer();
+  if (server.running()) return Status::Ok();
+  return server.Start(env.stats_port);
+}
+
+}  // namespace ppr

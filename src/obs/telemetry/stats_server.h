@@ -1,0 +1,70 @@
+#ifndef PPR_OBS_TELEMETRY_STATS_SERVER_H_
+#define PPR_OBS_TELEMETRY_STATS_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace ppr {
+
+/// Minimal blocking single-listener HTTP exposition server: binds
+/// 127.0.0.1:<port>, accepts one connection at a time, and answers
+/// GET /metrics with the global registry rendered as Prometheus text
+/// (obs/telemetry/prometheus.h). Deliberately primitive — one accept
+/// thread, no keep-alive, no TLS, loopback only — because its job is
+/// `curl localhost:PORT/metrics` during a bench run, not production
+/// serving.
+///
+/// Threading: Start spawns the accept thread; Stop (and the destructor)
+/// shuts the listener down, which unblocks accept(2), and joins. The
+/// request handler snapshots GlobalMetrics() under GlobalObsMutex(), so
+/// a scrape racing a batch drain sees a consistent registry.
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds and starts serving. `port` 0 asks the kernel for an ephemeral
+  /// port (tests); read the chosen one back with port(). Fails if
+  /// already running or the bind/listen fails.
+  Status Start(int port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound TCP port while running, -1 otherwise.
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+/// Renders the HTTP response for one request line (exposed for tests:
+/// the protocol surface is testable without sockets). GET /metrics (or
+/// "/") yields 200 with the Prometheus payload; anything else 404.
+std::string StatsServerResponseFor(const std::string& request_line);
+
+/// Starts the process-wide server when the environment sets
+/// PPR_STATS_PORT (0 = ephemeral). Returns OK and does nothing when the
+/// variable is unset. Idempotent: a second call while running is OK.
+Status StartStatsServerFromEnv();
+
+/// The process-wide server, running or not (never null after first use).
+StatsServer& GlobalStatsServer();
+
+}  // namespace ppr
+
+#endif  // PPR_OBS_TELEMETRY_STATS_SERVER_H_

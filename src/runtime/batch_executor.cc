@@ -1,6 +1,8 @@
 #include "runtime/batch_executor.h"
 
 #include <algorithm>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "common/arena.h"
@@ -11,6 +13,9 @@
 #include "exec/physical_plan.h"
 #include "exec/verify_hook.h"
 #include "obs/exporters.h"
+#include "obs/telemetry/flight_recorder.h"
+#include "obs/telemetry/query_log.h"
+#include "obs/telemetry/stats_server.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
@@ -66,6 +71,18 @@ struct BatchExecutor::WorkerState {
   std::unique_ptr<TraceSink> trace;  // shard, only when tracing is on
 };
 
+struct BatchExecutor::JobTelemetry {
+  /// FingerprintQueryStructure of the job's canonical structure; 0 on the
+  /// uncached path (which never canonicalizes).
+  uint64_t fingerprint = 0;
+  /// Plan::Width() of the logical plan the job executed; -1 if the job
+  /// errored before a plan existed.
+  int32_t predicted_width = -1;
+  /// Whether this call ran the plan-cache factory (scheduling-dependent
+  /// raw material; the drain reattributes hits/misses deterministically).
+  bool compiled_here = false;
+};
+
 BatchExecutor::BatchExecutor(const Database& db, BatchOptions options)
     : db_(db), options_(options) {
   num_threads_ = options_.num_threads;
@@ -86,12 +103,17 @@ BatchExecutor::BatchExecutor(const Database& db, BatchOptions options)
 }
 
 void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
-                               ExecutionResult* slot) const {
+                               ExecutionResult* slot,
+                               JobTelemetry* telem) const {
   TraceSink* trace = worker->trace.get();
   if (cache_ == nullptr) {
     // Uncached: plan + compile the original query, exactly as the
     // single-threaded RunStrategy path does.
     Plan plan = BuildStrategyPlan(job.strategy, job.query, job.seed);
+    if (telem != nullptr) {
+      telem->predicted_width = plan.Width();
+      telem->compiled_here = true;
+    }
     Result<PhysicalPlan> compiled = PhysicalPlan::Compile(
         job.query, plan, db_, options_.join_algorithm);
     if (!compiled.ok()) {
@@ -111,9 +133,13 @@ void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
   key.join_algorithm = options_.join_algorithm;
   key.db = &db_;
   key.db_fingerprint = db_fingerprint_;
+  if (telem != nullptr) {
+    telem->fingerprint = FingerprintQueryStructure(canon.structure);
+  }
 
   Result<std::shared_ptr<const CachedPlan>> cached = cache_->GetOrCompile(
-      key, [this, &canon, &job]() -> Result<CachedPlan> {
+      key,
+      [this, &canon, &job]() -> Result<CachedPlan> {
         Plan plan =
             BuildStrategyPlan(job.strategy, canon.query, job.seed);
         const int width = plan.Width();
@@ -121,10 +147,14 @@ void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
             canon.query, plan, db_, options_.join_algorithm);
         if (!compiled.ok()) return compiled.status();
         return CachedPlan{canon.query, std::move(*compiled), width};
-      });
+      },
+      telem != nullptr ? &telem->compiled_here : nullptr);
   if (!cached.ok()) {
     *slot = ErrorResult(cached.status());
     return;
+  }
+  if (telem != nullptr) {
+    telem->predicted_width = static_cast<int32_t>((*cached)->plan_width);
   }
 
   ExecutionResult result = (*cached)->physical.ExecuteShared(
@@ -137,12 +167,16 @@ void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
 
 BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
   // Force every lazily-initialized process-wide singleton on this thread
-  // before any worker exists: the env snapshot, the trace gate, and the
-  // verifier hooks/gate. Workers then only ever read them.
+  // before any worker exists: the env snapshot, the trace gate, the
+  // verifier hooks/gate, and the telemetry gates. Workers then only ever
+  // read them.
   (void)ProcessEnv();
   (void)TracingEnabled();
   (void)PlanVerificationEnabled();
   (void)GetPlanVerifierHooks();
+  (void)QueryLogEnabled();
+  (void)FlightRecorderEnabled();
+  (void)StartStatsServerFromEnv();
 
   BatchResult out;
   out.num_threads = num_threads_;
@@ -151,10 +185,15 @@ BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
       cache_ != nullptr ? cache_->stats() : PlanCache::Stats{};
 
   const bool tracing = GlobalTraceSinkIfEnabled() != nullptr;
+  // The whole disabled-telemetry cost: this one branch, hoisted out of
+  // the per-job path entirely (workers see a null telemetry slot and
+  // skip every capture).
+  const bool telemetry = GlobalQueryLogIfEnabled() != nullptr;
   std::vector<WorkerState> workers(static_cast<size_t>(num_threads_));
   if (tracing) {
     for (WorkerState& w : workers) w.trace = std::make_unique<TraceSink>();
   }
+  std::vector<JobTelemetry> telem(telemetry ? jobs.size() : 0);
 
   WallTimer timer;
   {
@@ -162,8 +201,9 @@ BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
     for (size_t i = 0; i < jobs.size(); ++i) {
       const BatchJob* job = &jobs[i];
       ExecutionResult* slot = &out.results[i];
-      pool.Submit([this, job, slot, &workers](int worker) {
-        ProcessJob(*job, &workers[static_cast<size_t>(worker)], slot);
+      JobTelemetry* tslot = telemetry ? &telem[i] : nullptr;
+      pool.Submit([this, job, slot, tslot, &workers](int worker) {
+        ProcessJob(*job, &workers[static_cast<size_t>(worker)], slot, tslot);
       });
     }
     pool.Wait();
@@ -221,6 +261,62 @@ BatchResult BatchExecutor::Run(const std::vector<BatchJob>& jobs) {
     MutexLock lock(GlobalObsMutex());
     for (const WorkerState& w : workers) MergeIntoGlobalSink(*w.trace);
     (void)FlushTraceArtifacts();
+  }
+
+  // Query-log drain, after the trace merge so flight dumps can snapshot
+  // this batch's spans from the global sink. Single-threaded, input
+  // order — that (not the workers' interleaving) is what makes the
+  // exported JSONL byte-identical across worker counts.
+  if (telemetry) {
+    if (QueryLog* qlog = GlobalQueryLogIfEnabled(); qlog != nullptr) {
+      MutexLock lock(GlobalObsMutex());
+      FlightRecorder* flights = GlobalFlightRecorderIfEnabled();
+      const TraceSink* sink = tracing ? GlobalTraceSinkIfEnabled() : nullptr;
+
+      // Deterministic cache-hit reattribution: per-job compiled_here is
+      // scheduling-dependent (any of a key's jobs may win the
+      // single-flight compile), but *whether* a key compiled this batch
+      // is not. Among each compiled key's jobs, the first in input order
+      // is recorded as the miss; jobs of keys that never compiled were
+      // served from a pre-existing entry and are all hits.
+      using GroupKey = std::tuple<uint64_t, int32_t, uint64_t>;
+      const auto group_of = [&](size_t i) {
+        return GroupKey{telem[i].fingerprint,
+                        static_cast<int32_t>(jobs[i].strategy), jobs[i].seed};
+      };
+      std::set<GroupKey> compiled;
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (telem[i].compiled_here) compiled.insert(group_of(i));
+      }
+      std::set<GroupKey> miss_taken;
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        const ExecutionResult& r = out.results[i];
+        QueryRecord rec;
+        rec.fingerprint = telem[i].fingerprint;
+        rec.strategy = static_cast<int32_t>(jobs[i].strategy);
+        rec.source = QuerySource::kBatch;
+        if (cache_ == nullptr) {
+          rec.cache_hit = false;
+        } else if (const GroupKey g = group_of(i); compiled.count(g) > 0) {
+          rec.cache_hit = !miss_taken.insert(g).second;
+        } else {
+          rec.cache_hit = true;
+        }
+        ClassifyStatus(r.status, &rec);
+        rec.wall_ns = static_cast<int64_t>(r.seconds * 1e9);
+        rec.tuples_produced = static_cast<int64_t>(r.stats.tuples_produced);
+        rec.output_rows = r.status.ok() ? r.output.size() : -1;
+        rec.peak_bytes = static_cast<int64_t>(r.stats.peak_bytes);
+        rec.max_arity = r.stats.max_intermediate_arity;
+        rec.predicted_width = telem[i].predicted_width;
+        rec.bound_headroom = telem[i].predicted_width >= 0
+                                 ? telem[i].predicted_width - rec.max_arity
+                                 : 0;
+        rec.seq = qlog->Append(rec);
+        if (flights != nullptr) (void)flights->Observe(rec, *qlog, sink);
+      }
+      (void)FlushQueryLogArtifact();
+    }
   }
   return out;
 }

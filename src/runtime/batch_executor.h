@@ -101,9 +101,14 @@ class BatchExecutor {
 
  private:
   struct WorkerState;
+  /// Per-job raw telemetry a worker can capture but the drain must
+  /// interpret (fingerprint, predicted width, whether this call ran the
+  /// plan-cache factory). Only allocated when the query log is enabled —
+  /// checking that is the single branch the disabled path pays per job.
+  struct JobTelemetry;
 
   void ProcessJob(const BatchJob& job, WorkerState* worker,
-                  ExecutionResult* slot) const;
+                  ExecutionResult* slot, JobTelemetry* telem) const;
 
   const Database& db_;
   BatchOptions options_;

@@ -5,8 +5,12 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/mutex.h"
 #include "exec/verify_hook.h"
+#include "obs/telemetry/flight_recorder.h"
+#include "obs/telemetry/query_log.h"
 #include "obs/trace.h"
+#include "runtime/plan_cache.h"
 
 namespace ppr {
 
@@ -85,6 +89,37 @@ ExecutionResult MorselDriver::Run(const PhysicalPlan& plan,
     Status verdict = hooks->morsel_accounting(
         *verify_ctx->query, *verify_ctx->plan, *verify_ctx->db, *acct);
     if (!verdict.ok()) result.status = std::move(verdict);
+  }
+
+  // Query-log drain (the BatchExecutor pattern, one record per run).
+  // The null check is the whole disabled-path cost.
+  if (QueryLog* qlog = GlobalQueryLogIfEnabled(); qlog != nullptr) {
+    QueryRecord rec;
+    if (verify_ctx != nullptr && verify_ctx->query != nullptr) {
+      // Cold path (the run itself dwarfs one canonicalization): recover
+      // the structural fingerprint so morsel records bucket with the
+      // batch records of isomorphic queries.
+      rec.fingerprint = FingerprintQueryStructure(
+          CanonicalizeQuery(*verify_ctx->query).structure);
+    }
+    rec.source = QuerySource::kMorsel;
+    ClassifyStatus(result.status, &rec);
+    rec.wall_ns = static_cast<int64_t>(result.seconds * 1e9);
+    rec.tuples_produced = static_cast<int64_t>(result.stats.tuples_produced);
+    rec.output_rows = result.status.ok() ? result.output.size() : -1;
+    rec.peak_bytes = static_cast<int64_t>(result.stats.peak_bytes);
+    rec.max_arity = result.stats.max_intermediate_arity;
+    if (verify_ctx != nullptr && verify_ctx->plan != nullptr) {
+      rec.predicted_width = static_cast<int32_t>(verify_ctx->plan->Width());
+      rec.bound_headroom = rec.predicted_width - rec.max_arity;
+    }
+    MutexLock lock(GlobalObsMutex());
+    rec.seq = qlog->Append(rec);
+    if (FlightRecorder* flights = GlobalFlightRecorderIfEnabled();
+        flights != nullptr) {
+      (void)flights->Observe(rec, *qlog, trace);
+    }
+    (void)FlushQueryLogArtifact();
   }
   return result;
 }

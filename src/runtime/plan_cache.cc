@@ -38,6 +38,10 @@ size_t CountDistinct(std::vector<uint64_t> values) {
 
 }  // namespace
 
+uint64_t FingerprintQueryStructure(const std::string& structure) {
+  return HashString(structure);
+}
+
 CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query) {
   const std::vector<AttrId> attrs = query.AllAttrs();
   const size_t n = attrs.size();
@@ -263,7 +267,8 @@ PlanCache::Shard& PlanCache::ShardFor(const PlanCacheKey& key) {
 }
 
 Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
-    const PlanCacheKey& key, const Factory& factory) {
+    const PlanCacheKey& key, const Factory& factory, bool* compiled_here) {
+  if (compiled_here != nullptr) *compiled_here = false;
   Shard& shard = ShardFor(key);
   std::shared_ptr<InFlight> flight;
   bool owner = false;
@@ -297,6 +302,7 @@ Result<std::shared_ptr<const CachedPlan>> PlanCache::GetOrCompile(
   }
 
   // Owner: compile with no cache lock held.
+  if (compiled_here != nullptr) *compiled_here = true;
   Result<CachedPlan> built = factory();
   const Status error = built.status();
   std::shared_ptr<const CachedPlan> plan;

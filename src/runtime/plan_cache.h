@@ -43,6 +43,14 @@ struct CanonicalQuery {
 /// and amortized away by every cache hit it enables.
 CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query);
 
+/// Hash of a CanonicalQuery::structure encoding — the 64-bit structural
+/// fingerprint the query log records per job (obs/telemetry/query_log.h).
+/// Deterministic across runs and platforms (fixed-constant SplitMix64
+/// mixing, no seed), so exported JSONL fingerprints are comparable
+/// between runs. Collisions only blur telemetry grouping; cache
+/// soundness never rests on this hash (keys compare structure bytes).
+uint64_t FingerprintQueryStructure(const std::string& structure);
+
 /// Content fingerprint of a catalog: relation names, arities, and tuple
 /// data. The paper's databases are tiny (the 3-COLOR `edge` relation has
 /// six tuples), so hashing content per batch is noise; it catches re-Put
@@ -116,9 +124,14 @@ class PlanCache {
   /// Returns the cached plan for `key`, compiling it via `factory` on the
   /// first miss. Concurrent requests for the same key wait for the single
   /// in-flight compile. Factory errors propagate to all waiters and are
-  /// not cached (the next request retries).
+  /// not cached (the next request retries). `compiled_here`, when
+  /// non-null, is set to whether *this* call ran the factory — per-call
+  /// raw material for telemetry (which job actually compiled depends on
+  /// scheduling, so the query log reattributes deterministically at
+  /// drain; see BatchExecutor).
   Result<std::shared_ptr<const CachedPlan>> GetOrCompile(
-      const PlanCacheKey& key, const Factory& factory);
+      const PlanCacheKey& key, const Factory& factory,
+      bool* compiled_here = nullptr);
 
   /// Counter totals across shards.
   Stats stats() const;
