@@ -1,0 +1,544 @@
+// Closed-loop load generator for the resident query service: N client
+// threads, each on its own TCP connection, drive a Zipf-skewed mix over
+// isomorphic 3-COLOR query families (benchlib/batch_workload.h) through
+// the full daemon path — parse, plan cache, admission, bounded queue,
+// workers, framed replies — and every OK answer is compared
+// byte-for-byte against a direct BatchExecutor reference.
+//
+// Three phases, each a SeriesTable row and a set of bench.service.*
+// metrics in BENCH_service.json:
+//
+//   1. Worker sweep (default 1,2,4,8): fresh in-process daemon per
+//      point, unlimited admission — throughput, p50/p99, and the
+//      identity check (any mismatch fails the run).
+//   2. Overload: one worker, a 2-deep queue, and a tight per-client
+//      quota, hammered without think time — the admission controller
+//      must provably shed (shed counter > 0) while every request still
+//      gets a framed reply (zero transport errors, zero drops).
+//   3. With --connect-port=N: drive an already-running external pprd
+//      instead (CI's smoke job); the sweep and overload phases are
+//      skipped, the protocol-error gate still applies.
+//
+// Flags:
+//   --clients=8 --requests=400 --families=12 --copies=8
+//   --vertices=12 --density=1.3 --budget=2000000 --zipf=1.1
+//   --workers=1,2,4,8 --seed=7
+//   --connect-host=127.0.0.1 --connect-port=0
+//   --skip-overload --csv
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/batch_workload.h"
+#include "benchlib/harness.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "encode/kcolor.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/obs_lock.h"
+#include "query/parser.h"
+#include "runtime/batch_executor.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace ppr;
+
+int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+std::vector<int> WorkerCounts(int argc, char** argv) {
+  std::vector<int> counts;
+  const std::string prefix = "--workers=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      const char* p = argv[i] + prefix.size();
+      while (*p != '\0') {
+        const int n = std::atoi(p);
+        if (n > 0) counts.push_back(n);
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+/// The query mix: flat query list plus the family structure over it
+/// (families[f] = flat indices of family f's isomorphic copies).
+struct Workload {
+  std::vector<ConjunctiveQuery> queries;
+  std::vector<std::string> texts;  // QueryToText(queries[i])
+  std::vector<std::vector<size_t>> families;
+};
+
+Workload BuildWorkload(int num_families, int copies, int vertices,
+                       double density, uint64_t seed) {
+  Workload out;
+  out.families.resize(static_cast<size_t>(num_families));
+  for (int f = 0; f < num_families; ++f) {
+    std::vector<ConjunctiveQuery> copies_of_f;
+    if (f % 2 == 0) {
+      // Boolean-emulation families straight from the batch generator.
+      ColorBatchSpec spec;
+      spec.num_bases = 1;
+      spec.copies_per_base = copies;
+      spec.num_vertices = vertices;
+      spec.density = density;
+      spec.seed = seed + 31 * static_cast<uint64_t>(f);
+      copies_of_f = IsomorphicColorBatch(spec);
+    } else {
+      // Non-Boolean families: wider answers exercise the row batching.
+      Rng rng(seed + 31 * static_cast<uint64_t>(f));
+      const Graph g = RandomGraphWithDensity(vertices, density, rng);
+      const ConjunctiveQuery base = KColorQueryNonBoolean(g, 0.2, rng);
+      copies_of_f = PermutedCopies(base, copies, seed + 7 * f);
+    }
+    for (const ConjunctiveQuery& query : copies_of_f) {
+      out.families[static_cast<size_t>(f)].push_back(out.queries.size());
+      std::string text = QueryToText(query);
+      // The wire format is the text: store the *parsed* query (the
+      // parser renumbers attributes by first appearance), so the
+      // reference executor evaluates exactly what the daemon will.
+      Result<ParsedQuery> parsed = ParseQuery(text);
+      PPR_CHECK(parsed.ok());
+      out.queries.push_back(std::move(parsed->query));
+      out.texts.push_back(std::move(text));
+    }
+  }
+  return out;
+}
+
+bool SameRelation(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.size() != b.size()) return false;
+  for (int c = 0; c < a.arity(); ++c) {
+    if (a.schema().attr(c) != b.schema().attr(c)) return false;
+  }
+  const int64_t values = a.size() * a.arity();
+  return values == 0 ||
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(values) * sizeof(Value)) == 0;
+}
+
+/// What one phase of closed-loop driving produced, folded across all
+/// client threads after they join.
+struct PhaseResult {
+  int64_t sent = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;      // kOverloaded + kShuttingDown
+  int64_t rejected = 0;  // kRejected (permanent bound rejections)
+  int64_t refused_other = 0;  // invalid / deadline / budget / error
+  int64_t transport_errors = 0;  // protocol or socket failures
+  int64_t mismatches = 0;        // OK answers differing from the reference
+  double seconds = 0.0;
+  Log2Histogram latency;
+
+  double qps() const { return seconds > 0.0 ? sent / seconds : 0.0; }
+  double shed_rate() const {
+    return sent > 0 ? static_cast<double>(shed) / static_cast<double>(sent)
+                    : 0.0;
+  }
+};
+
+struct PhaseConfig {
+  std::string host;
+  int port = 0;
+  int clients = 8;
+  int64_t requests = 400;
+  double zipf = 1.1;
+  Counter budget = 2'000'000;
+  uint64_t seed = 7;
+  /// Reference answers by flat query index; empty skips the identity
+  /// check (external daemons may serve a different catalog).
+  const std::vector<ExecutionResult>* reference = nullptr;
+};
+
+PhaseResult RunPhase(const Workload& workload, const PhaseConfig& config) {
+  // Zipf CDF over families: family rank k gets weight (k+1)^-s.
+  std::vector<double> cdf(workload.families.size());
+  double total = 0.0;
+  for (size_t k = 0; k < cdf.size(); ++k) {
+    total += std::pow(static_cast<double>(k + 1), -config.zipf);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  std::atomic<int64_t> next{0};
+  std::vector<PhaseResult> per_thread(static_cast<size_t>(config.clients));
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.clients));
+  for (int t = 0; t < config.clients; ++t) {
+    threads.emplace_back([&, t] {
+      PhaseResult& mine = per_thread[static_cast<size_t>(t)];
+      Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      Result<ServiceClient> client =
+          ServiceClient::Connect(config.host, config.port);
+      if (!client.ok()) {
+        // A closed-loop client that cannot connect surfaces as transport
+        // errors for everything it would have sent.
+        while (next.fetch_add(1) < config.requests) ++mine.transport_errors;
+        return;
+      }
+      while (true) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= config.requests) return;
+        const double u = rng.NextDouble();
+        size_t family = 0;
+        while (family + 1 < cdf.size() && u > cdf[family]) ++family;
+        const std::vector<size_t>& members = workload.families[family];
+        const size_t flat =
+            members[rng.NextBounded(static_cast<uint64_t>(members.size()))];
+
+        ServiceRequest request;
+        request.request_id =
+            (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i);
+        request.client_id = static_cast<uint64_t>(t);
+        request.strategy = -1;  // server default
+        request.seed = 0;
+        request.tuple_budget = static_cast<uint64_t>(config.budget);
+        request.query_text = workload.texts[flat];
+
+        const auto before = std::chrono::steady_clock::now();
+        Result<ServiceReply> reply = client->Call(request);
+        const auto after = std::chrono::steady_clock::now();
+        ++mine.sent;
+        if (!reply.ok()) {
+          ++mine.transport_errors;
+          // One reconnect attempt: a daemon mid-drain closes sockets.
+          client = ServiceClient::Connect(config.host, config.port);
+          if (!client.ok()) {
+            while (next.fetch_add(1) < config.requests) {
+              ++mine.sent;
+              ++mine.transport_errors;
+            }
+            return;
+          }
+          continue;
+        }
+        mine.latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(after -
+                                                                 before)
+                .count()));
+        switch (reply->status) {
+          case ServiceStatus::kOk:
+            ++mine.ok;
+            if (config.reference != nullptr &&
+                !SameRelation(reply->output,
+                              (*config.reference)[flat].output)) {
+              ++mine.mismatches;
+            }
+            break;
+          case ServiceStatus::kOverloaded:
+          case ServiceStatus::kShuttingDown:
+            ++mine.shed;
+            break;
+          case ServiceStatus::kRejected:
+            ++mine.rejected;
+            break;
+          default:
+            ++mine.refused_other;
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PhaseResult out;
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  for (const PhaseResult& mine : per_thread) {
+    out.sent += mine.sent;
+    out.ok += mine.ok;
+    out.shed += mine.shed;
+    out.rejected += mine.rejected;
+    out.refused_other += mine.refused_other;
+    out.transport_errors += mine.transport_errors;
+    out.mismatches += mine.mismatches;
+    out.latency.Merge(mine.latency);
+  }
+  return out;
+}
+
+std::string FormatMs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  return buf;
+}
+
+void PublishPhaseMetrics(const std::string& label, const PhaseResult& r) {
+  MutexLock lock(GlobalObsMutex());
+  MetricsRegistry& metrics = GlobalMetrics();
+  const std::string prefix = "bench.service." + label;
+  metrics.RaiseMax(prefix + ".requests", r.sent);
+  metrics.RaiseMax(prefix + ".qps_milli",
+                   static_cast<int64_t>(r.qps() * 1000.0));
+  metrics.RaiseMax(prefix + ".p50_ns",
+                   static_cast<int64_t>(r.latency.Quantile(0.5)));
+  metrics.RaiseMax(prefix + ".p99_ns",
+                   static_cast<int64_t>(r.latency.Quantile(0.99)));
+  metrics.RaiseMax(prefix + ".shed_per_million",
+                   static_cast<int64_t>(r.shed_rate() * 1e6));
+  metrics.RaiseMax(prefix + ".transport_errors", r.transport_errors);
+  metrics.RaiseMax(prefix + ".mismatches", r.mismatches);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = static_cast<int>(FlagValue(argc, argv, "clients", 8));
+  const int64_t requests = FlagValue(argc, argv, "requests", 400);
+  const int families = static_cast<int>(FlagValue(argc, argv, "families", 12));
+  const int copies = static_cast<int>(FlagValue(argc, argv, "copies", 8));
+  const int vertices = static_cast<int>(FlagValue(argc, argv, "vertices", 12));
+  const double density = FlagDouble(argc, argv, "density", 1.3);
+  const Counter budget = FlagValue(argc, argv, "budget", 2'000'000);
+  const double zipf = FlagDouble(argc, argv, "zipf", 1.1);
+  const uint64_t seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 7));
+  const int connect_port =
+      static_cast<int>(FlagValue(argc, argv, "connect-port", 0));
+  const std::string connect_host =
+      FlagString(argc, argv, "connect-host", "127.0.0.1");
+
+  const Workload workload =
+      BuildWorkload(families, copies, vertices, density, seed);
+  std::printf("service load: %zu queries (%d families x %d copies), "
+              "%d clients, zipf %.2f\n\n",
+              workload.queries.size(), families, copies, clients, zipf);
+
+  PhaseConfig phase;
+  phase.clients = clients;
+  phase.requests = requests;
+  phase.zipf = zipf;
+  phase.budget = budget;
+  phase.seed = seed;
+
+  int failures = 0;
+  SeriesTable table("phase", {"requests", "seconds", "qps", "p50", "p99",
+                              "ok", "shed_rate", "errors"});
+  const auto add_row = [&table](const std::string& label,
+                                const PhaseResult& r) {
+    char qps[32];
+    std::snprintf(qps, sizeof(qps), "%.1f", r.qps());
+    char shed[32];
+    std::snprintf(shed, sizeof(shed), "%.4f", r.shed_rate());
+    table.AddRow(label,
+                 {std::to_string(r.sent), FormatSeconds(r.seconds), qps,
+                  FormatMs(r.latency.Quantile(0.5)),
+                  FormatMs(r.latency.Quantile(0.99)), std::to_string(r.ok),
+                  shed, std::to_string(r.transport_errors + r.mismatches)});
+  };
+
+  if (connect_port > 0) {
+    // External-daemon mode (the CI smoke job): one mixed phase, zero
+    // protocol errors required. No identity reference — the daemon's
+    // catalog is its own — and no overload phase (we cannot reconfigure
+    // a running daemon's admission gates).
+    phase.host = connect_host;
+    phase.port = connect_port;
+    const PhaseResult r = RunPhase(workload, phase);
+    add_row("external", r);
+    PublishPhaseMetrics("external", r);
+    if (r.transport_errors > 0) {
+      std::fprintf(stderr, "FAIL: %lld protocol/transport errors\n",
+                   static_cast<long long>(r.transport_errors));
+      ++failures;
+    }
+    if (r.sent != requests) {
+      std::fprintf(stderr, "FAIL: sent %lld of %lld requests\n",
+                   static_cast<long long>(r.sent),
+                   static_cast<long long>(requests));
+      ++failures;
+    }
+  } else {
+    // Reference answers: the same queries through the direct
+    // BatchExecutor path (one thread, same strategy/seed/budget). The
+    // daemon must reproduce every relation byte-for-byte.
+    Database db;
+    AddColoringRelations(3, &db);
+    std::vector<ExecutionResult> reference;
+    {
+      BatchOptions options;
+      options.num_threads = 1;
+      BatchExecutor executor(db, options);
+      std::vector<BatchJob> jobs;
+      jobs.reserve(workload.queries.size());
+      for (const ConjunctiveQuery& query : workload.queries) {
+        BatchJob job;
+        job.query = query;
+        job.strategy = StrategyKind::kBucketElimination;
+        job.seed = 0;
+        job.tuple_budget = budget;
+        jobs.push_back(std::move(job));
+      }
+      reference = std::move(executor.Run(jobs).results);
+    }
+    phase.reference = &reference;
+    phase.host = "127.0.0.1";
+
+    for (const int workers : WorkerCounts(argc, argv)) {
+      ServiceConfig config;
+      config.num_workers = workers;
+      config.max_tuple_budget = budget;
+      Database serve_db;
+      AddColoringRelations(3, &serve_db);
+      QueryService service(serve_db, config);
+      ServiceServer server(&service, ServerConfig{});
+      if (Status started = server.Start(); !started.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      phase.port = server.port();
+      const PhaseResult r = RunPhase(workload, phase);
+      server.Stop();
+      const std::string label = "w" + std::to_string(workers);
+      add_row(label, r);
+      PublishPhaseMetrics(label, r);
+      if (r.mismatches > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %lld answers differ from the BatchExecutor "
+                     "reference at %d workers\n",
+                     static_cast<long long>(r.mismatches), workers);
+        ++failures;
+      }
+      if (r.transport_errors > 0) {
+        std::fprintf(stderr, "FAIL: %lld transport errors at %d workers\n",
+                     static_cast<long long>(r.transport_errors), workers);
+        ++failures;
+      }
+    }
+
+    if (!HasFlag(argc, argv, "skip-overload")) {
+      // Overload: one worker, a 2-deep queue, and 2-token client quotas
+      // refilling at 1/s, hammered by every client at once. The
+      // admission controller must shed (provably: counter > 0) and
+      // every request must still get a reply.
+      ServiceConfig config;
+      config.num_workers = 1;
+      config.queue_depth = 2;
+      config.max_tuple_budget = budget;
+      config.admission.quota_tokens = 2;
+      config.admission.quota_refill_per_sec = 1.0;
+      Database serve_db;
+      AddColoringRelations(3, &serve_db);
+      QueryService service(serve_db, config);
+      ServiceServer server(&service, ServerConfig{});
+      if (Status started = server.Start(); !started.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      PhaseConfig overload = phase;
+      overload.port = server.port();
+      overload.requests = std::max<int64_t>(requests / 2, 4 * clients);
+      const PhaseResult r = RunPhase(workload, overload);
+      const ServiceCounters counters = service.counters();
+      server.Stop();
+      add_row("overload", r);
+      PublishPhaseMetrics("overload", r);
+      {
+        MutexLock lock(GlobalObsMutex());
+        GlobalMetrics().RaiseMax("bench.service.overload.shed_count",
+                                 counters.shed_total());
+      }
+      if (counters.shed_total() <= 0) {
+        std::fprintf(stderr,
+                     "FAIL: overload config shed nothing (quota %lld, "
+                     "queue depth 2)\n",
+                     static_cast<long long>(
+                         config.admission.quota_tokens));
+        ++failures;
+      }
+      if (r.transport_errors > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %lld overload requests were dropped instead "
+                     "of refused\n",
+                     static_cast<long long>(r.transport_errors));
+        ++failures;
+      }
+      if (counters.errors > 0) {
+        std::fprintf(stderr, "FAIL: %lld unexpected service errors\n",
+                     static_cast<long long>(counters.errors));
+        ++failures;
+      } else if (counters.requests !=
+                 counters.completed + counters.invalid +
+                     counters.rejected_bound + counters.shed_quota +
+                     counters.shed_bound + counters.shed_queue +
+                     counters.shed_draining) {
+        std::fprintf(stderr,
+                     "FAIL: service counters do not reconcile (every "
+                     "request must be answered exactly once)\n");
+        ++failures;
+      }
+    }
+  }
+
+  if (HasFlag(argc, argv, "csv")) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+
+  const Status written = WriteBenchMetrics("BENCH_service.json");
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_service.json: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_service.json\n");
+  if (failures > 0) {
+    std::fprintf(stderr, "%d failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

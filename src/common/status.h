@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,          // a named relation/attribute does not exist
   kResourceExhausted, // execution exceeded its tuple/step budget (timeout)
   kInternal,          // invariant violation surfaced as an error
+  kUnavailable,       // transiently refused (overload shed, deadline, drain)
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -42,6 +43,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -68,6 +68,8 @@ const char* QuerySourceName(QuerySource source) {
       return "morsel";
     case QuerySource::kTool:
       return "tool";
+    case QuerySource::kService:
+      return "service";
   }
   return "?";
 }

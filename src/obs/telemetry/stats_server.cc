@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
@@ -73,9 +74,10 @@ Status StatsServer::Start(int port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string detail = std::strerror(errno);
     ::close(fd);
     return Status::Internal("stats server: bind() failed on port " +
-                            std::to_string(port));
+                            std::to_string(port) + ": " + detail);
   }
   if (::listen(fd, 4) < 0) {
     ::close(fd);

@@ -20,14 +20,9 @@
 #include "runtime/thread_pool.h"
 
 namespace ppr {
-namespace {
 
-// Rewrites a result relation from canonical attribute ids back to the
-// job's original ids, with columns in ascending original-attribute order
-// — exactly the schema an uncached execution of the original query would
-// produce (root projected labels are sorted).
-Relation RemapOutput(const Relation& output,
-                     const std::vector<AttrId>& from_canonical) {
+Relation RemapOutputFromCanonical(const Relation& output,
+                                  const std::vector<AttrId>& from_canonical) {
   const Schema& schema = output.schema();
   const int arity = schema.arity();
   if (arity == 0) return output;  // nullary: only the nonempty bit matters
@@ -56,6 +51,8 @@ Relation RemapOutput(const Relation& output,
   }
   return remapped;
 }
+
+namespace {
 
 ExecutionResult ErrorResult(Status status) {
   ExecutionResult result;
@@ -160,7 +157,7 @@ void BatchExecutor::ProcessJob(const BatchJob& job, WorkerState* worker,
   ExecutionResult result = (*cached)->physical.ExecuteShared(
       &worker->arena, job.tuple_budget, trace, &worker->metrics);
   if (result.status.ok()) {
-    result.output = RemapOutput(result.output, canon.from_canonical);
+    result.output = RemapOutputFromCanonical(result.output, canon.from_canonical);
   }
   *slot = std::move(result);
 }

@@ -15,6 +15,16 @@
 
 namespace ppr {
 
+/// Rewrites a result relation computed over canonical attribute ids back
+/// to the original query's ids, with columns in ascending
+/// original-attribute order — exactly the schema an uncached execution
+/// of the original query would produce (root projected labels are
+/// sorted). Shared by every consumer of cached canonical plans (batch
+/// executor, query service), which is what keeps their answers
+/// byte-identical.
+Relation RemapOutputFromCanonical(const Relation& output,
+                                  const std::vector<AttrId>& from_canonical);
+
 /// One unit of batch work: evaluate `query` against the executor's
 /// database with the plan `strategy` builds (seeded tie-breaks via
 /// `seed`), under `tuple_budget`.

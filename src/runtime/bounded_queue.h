@@ -20,6 +20,16 @@ namespace ppr {
 /// The bound provides backpressure: producers block in Push() while the
 /// queue is full, so a batch submitter can never race ahead of the
 /// workers by more than `capacity` tasks worth of memory.
+
+/// Why a non-blocking TryPush failed (or did not).
+enum class QueuePushOutcome : uint8_t {
+  kOk = 0,
+  /// The queue held `capacity` items — overload, caller should shed.
+  kFull = 1,
+  /// Close() was called — caller should report shutdown, not overload.
+  kClosed = 2,
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -41,6 +51,22 @@ class BoundedQueue {
     }
     not_empty_.NotifyOne();
     return true;
+  }
+
+  /// Non-blocking push: enqueues if there is room right now, otherwise
+  /// reports why not — overload shedding needs full vs. closed
+  /// distinguished (transient kOverloaded vs. terminal kShuttingDown).
+  /// Moves from `value` only on kOk, so the caller still owns it (and
+  /// any reply callback inside it) on failure.
+  QueuePushOutcome TryPush(T& value) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_) return QueuePushOutcome::kClosed;
+      if (items_.size() >= capacity_) return QueuePushOutcome::kFull;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.NotifyOne();
+    return QueuePushOutcome::kOk;
   }
 
   /// Blocks until an item is available (or the queue is closed and

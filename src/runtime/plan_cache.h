@@ -84,6 +84,11 @@ struct CachedPlan {
   /// Static join width of the logical plan the physical plan was lowered
   /// from (for bench/explain reporting without keeping the logical tree).
   int plan_width = 0;
+  /// AnalyzePlan's tuples_produced_bound for the plan, when the factory
+  /// computed it (the query service's admission controller gates on it);
+  /// negative means "not analyzed". +infinity is a valid value: the
+  /// analyzer could not bound the plan.
+  double tuples_bound = -1.0;
 };
 
 /// Sharded LRU cache of compiled plans keyed by structural fingerprint,

@@ -1,0 +1,56 @@
+#ifndef PPR_SERVICE_CLIENT_H_
+#define PPR_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace ppr {
+
+/// Blocking client for the query service protocol: one connection, one
+/// outstanding request at a time (Call is a full round trip). The load
+/// generator runs many clients, each on its own connection — the
+/// closed-loop shape — rather than pipelining on one.
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient() { Close(); }
+
+  ServiceClient(ServiceClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  ServiceClient& operator=(ServiceClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  static Result<ServiceClient> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `request` and reads the full response (header, row batches,
+  /// trailer) into a ServiceReply — the same struct in-process callers
+  /// get, which is what the byte-identity checks compare. An error
+  /// Status means the *transport or protocol* failed; service-level
+  /// refusals (shed, rejected, deadline) are OK results with the
+  /// corresponding ServiceStatus.
+  Result<ServiceReply> Call(const ServiceRequest& request);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace ppr
+
+#endif  // PPR_SERVICE_CLIENT_H_

@@ -77,6 +77,82 @@ TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
   producer.join();
 }
 
+TEST(BoundedQueueTest, TryPushReportsFullWithoutConsumingTheValue) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  auto first = std::make_unique<int>(1);
+  ASSERT_EQ(q.TryPush(first), QueuePushOutcome::kOk);
+  EXPECT_EQ(first, nullptr);  // moved from on success
+  auto second = std::make_unique<int>(2);
+  EXPECT_EQ(q.TryPush(second), QueuePushOutcome::kFull);
+  ASSERT_NE(second, nullptr);  // caller still owns the value on failure
+  EXPECT_EQ(*second, 2);
+  EXPECT_EQ(**q.Pop(), 1);
+  EXPECT_EQ(q.TryPush(second), QueuePushOutcome::kOk);
+  EXPECT_EQ(**q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, TryPushReportsClosedWithoutConsumingTheValue) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  q.Close();
+  auto value = std::make_unique<int>(7);
+  EXPECT_EQ(q.TryPush(value), QueuePushOutcome::kClosed);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 7);
+}
+
+// The overload-shedding race the service leans on: many producers
+// hammering TryPush against a tiny queue while a consumer drains and
+// Close() lands mid-storm. Every kOk must be popped exactly once, every
+// failed push must keep its value, and nothing may be lost or
+// duplicated. Sized to finish fast; the CI tsan job runs this suite
+// under ThreadSanitizer, which is the configuration the test is for.
+TEST(BoundedQueueTest, CloseWhileFullConcurrentProducerHammer) {
+  constexpr int kProducers = 8;
+  constexpr int kStride = 1 << 20;  // keeps per-producer values distinct
+  BoundedQueue<int> q(2);
+  std::atomic<int64_t> pushed_sum{0};
+  std::atomic<int64_t> full_count{0};
+  std::atomic<int> closed_count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &pushed_sum, &full_count, &closed_count, p] {
+      // Hammer until Close() is observed; retry kFull with the same
+      // value, which must survive the failed push unconsumed.
+      for (int i = 0;; ++i) {
+        const int expected = p * kStride + i + 1;
+        int value = expected;
+        const QueuePushOutcome outcome = q.TryPush(value);
+        if (outcome == QueuePushOutcome::kOk) {
+          pushed_sum.fetch_add(expected);
+          continue;
+        }
+        EXPECT_EQ(value, expected);  // not consumed on failure
+        if (outcome == QueuePushOutcome::kClosed) {
+          closed_count.fetch_add(1);
+          return;
+        }
+        full_count.fetch_add(1);
+        --i;  // retry this value
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::atomic<int64_t> popped_sum{0};
+  std::thread consumer([&q, &popped_sum] {
+    while (std::optional<int> v = q.Pop()) popped_sum.fetch_add(*v);
+  });
+  // Let the storm build against the full queue, then close mid-flight.
+  while (full_count.load() < 100) std::this_thread::yield();
+  q.Close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  // Every producer exited by observing the close, and conservation
+  // holds: exactly the successfully pushed values were consumed.
+  EXPECT_EQ(closed_count.load(), kProducers);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 
