@@ -162,7 +162,9 @@ std::string MetricsRegistry::ToJsonLines() const {
 }
 
 Mutex& GlobalObsMutex() {
-  static Mutex mu;
+  // kLockRankObs: above every app/service mutex, below the telemetry
+  // internals it guards access to (canonical order in common/mutex.h).
+  static Mutex mu(kLockRankObs);
   return mu;
 }
 

@@ -85,7 +85,9 @@ class FlightRecorder {
 
  private:
   const FlightRecorderOptions options_;
-  mutable Mutex mu_;
+  // kLockRankTelemetry: Observe() runs under GlobalObsMutex and takes
+  // mu_ inside it (canonical order in common/mutex.h).
+  mutable Mutex mu_{kLockRankTelemetry};
   int64_t next_id_ GUARDED_BY(mu_) = 0;
   int64_t dumps_ GUARDED_BY(mu_) = 0;
   std::string last_dump_path_ GUARDED_BY(mu_);

@@ -122,7 +122,9 @@ void ClassifyStatus(const Status& status, QueryRecord* record) {
 }
 
 struct QueryLog::Shard {
-  mutable Mutex mu;
+  // kLockRankTelemetry: shard mutexes are acquired under GlobalObsMutex
+  // (append/flush/clear), never the other way around.
+  mutable Mutex mu{kLockRankTelemetry};
   /// Ring of records, slot = per-shard append index % shard capacity.
   std::vector<QueryRecord> ring GUARDED_BY(mu);
   uint64_t appended GUARDED_BY(mu) = 0;

@@ -1,0 +1,35 @@
+// Seeded violation: raw pointers into arena storage pushed into a
+// member container. The pointers survive the ArenaScope that owns the
+// bytes they point at; the container outlives the scope, the storage
+// does not.
+//
+// pprcheck-expect: arena-escape
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/types.h"
+
+namespace ppr {
+
+class RowIndex {
+ public:
+  void Build(ExecArena& arena, int64_t n) {
+    ArenaScope scope(arena);
+    std::span<Value> rows = arena.AllocSpan<Value>(n);
+    for (Value& v : rows) v = 0;
+#ifndef FIXED
+    starts_.push_back(rows.data());
+#else
+    // Fixed: keep owned copies, not pointers into the scratch arena.
+    owned_rows_.assign(rows.begin(), rows.end());
+#endif
+  }
+
+ private:
+  std::vector<Value*> starts_;
+  std::vector<Value> owned_rows_;
+};
+
+}  // namespace ppr

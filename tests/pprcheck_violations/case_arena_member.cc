@@ -1,0 +1,35 @@
+// Seeded violation: a span carved from the ExecArena is stored into a
+// member that outlives the enclosing ArenaScope. The scope's destructor
+// rewinds the arena at the end of Fill(), so saved_ dangles — the next
+// Allocate() reuses the bytes and the "cached" rows silently mutate.
+//
+// pprcheck-expect: arena-escape
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace ppr {
+
+class ScratchCache {
+ public:
+  void Fill(ExecArena& arena) {
+    ArenaScope scope(arena);
+    std::span<int64_t> scratch = arena.AllocSpan<int64_t>(64);
+    for (int64_t& v : scratch) v = 0;
+#ifndef FIXED
+    saved_ = scratch;
+#else
+    // Fixed: copy out of the arena into owned storage before the scope
+    // rewinds it.
+    owned_.assign(scratch.begin(), scratch.end());
+#endif
+  }
+
+ private:
+  std::span<int64_t> saved_;
+  std::vector<int64_t> owned_;
+};
+
+}  // namespace ppr

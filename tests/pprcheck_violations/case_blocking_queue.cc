@@ -1,0 +1,37 @@
+// Seeded violation, interprocedural: Publish() blocks in
+// BoundedQueue::Push when the queue is full, and Expose() calls it
+// while holding GlobalObsMutex — so a full queue stalls every thread
+// that touches telemetry. The fix is the service's own rule (PR 9):
+// never block on the queue under a lock, use TryPush and shed.
+//
+// pprcheck-expect: blocking-under-lock
+#include "common/mutex.h"
+#include "obs/obs_lock.h"
+#include "runtime/bounded_queue.h"
+
+namespace ppr {
+
+class ObsEventPump {
+ public:
+  explicit ObsEventPump(size_t capacity) : queue_(capacity) {}
+
+  void Publish(int event) {
+#ifndef FIXED
+    queue_.Push(event);
+#else
+    // Fixed: non-blocking push; a full queue sheds instead of stalling
+    // whoever holds the obs lock upstream.
+    (void)queue_.TryPush(event);
+#endif
+  }
+
+  void Expose() {
+    MutexLock lock(GlobalObsMutex());
+    Publish(1);
+  }
+
+ private:
+  BoundedQueue<int> queue_;
+};
+
+}  // namespace ppr

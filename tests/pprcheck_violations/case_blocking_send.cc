@@ -1,0 +1,28 @@
+// Seeded violation: a socket send while holding GlobalObsMutex. Every
+// thread that records telemetry serializes on that mutex, so a peer
+// that stops reading stalls the whole process. The stats server's
+// snapshot-then-send idiom (stats_server.cc) is the sanctioned shape.
+//
+// pprcheck-expect: blocking-under-lock
+#include <sys/socket.h>
+
+#include "common/mutex.h"
+#include "obs/obs_lock.h"
+
+namespace ppr {
+
+inline long PushSampleToPeer(int fd, const char* buf, unsigned long len) {
+#ifndef FIXED
+  MutexLock lock(GlobalObsMutex());
+  return ::send(fd, buf, len, 0);
+#else
+  // Fixed: snapshot under the lock, send after releasing it.
+  {
+    MutexLock lock(GlobalObsMutex());
+    // ... copy whatever needs the lock into a local buffer ...
+  }
+  return ::send(fd, buf, len, 0);
+#endif
+}
+
+}  // namespace ppr

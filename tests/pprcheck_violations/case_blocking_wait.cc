@@ -1,0 +1,48 @@
+// Seeded violation: a condition-variable wait on mu_ while *also*
+// holding GlobalObsMutex. The wait releases mu_ but keeps the obs
+// mutex, so every telemetry writer in the process is stalled until the
+// gate opens — and if the signaller needs the obs mutex to get there,
+// it never does. Waiting on the mutex the CondVar is paired with is
+// fine; it is the extra watched capability that makes this a bug.
+//
+// pprcheck-expect: blocking-under-lock
+#include "common/mutex.h"
+#include "obs/obs_lock.h"
+
+namespace ppr {
+
+class DrainGate {
+ public:
+  void AwaitDrained() {
+#ifndef FIXED
+    MutexLock obs(GlobalObsMutex());
+    MutexLock lock(mu_);
+    while (!drained_) cv_.Wait(mu_);
+    ++flushes_;
+#else
+    // Fixed: finish the wait first, take the obs mutex afterwards.
+    {
+      MutexLock lock(mu_);
+      while (!drained_) cv_.Wait(mu_);
+    }
+    MutexLock obs(GlobalObsMutex());
+    ++flushes_;
+#endif
+  }
+
+  void MarkDrained() {
+    {
+      MutexLock lock(mu_);
+      drained_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool drained_ = false;
+  int flushes_ = 0;
+};
+
+}  // namespace ppr

@@ -1,0 +1,45 @@
+// Seeded violation: the deadlock cycle only exists *across* functions.
+// HelperLocksLog() is annotated REQUIRES(obs_mu_), so its log_mu_
+// acquisition is charged to callers that hold obs_mu_ — establishing
+// the edge obs_mu_ -> log_mu_ interprocedurally. Backwards() then nests
+// the pair the other way around. No single function ever holds both
+// mutexes in the wrong order, which is exactly what a per-function
+// analysis (or a textual linter) cannot see.
+//
+// pprcheck-expect: lock-order
+#include "common/mutex.h"
+
+namespace ppr {
+
+class TelemetryIsh {
+ public:
+  void HelperLocksLog() REQUIRES(obs_mu_) {
+    MutexLock log(log_mu_);
+    ++appended_;
+  }
+
+  void Drain() {
+    MutexLock obs(obs_mu_);
+    HelperLocksLog();
+  }
+
+  void Backwards() {
+#ifndef FIXED
+    MutexLock log(log_mu_);
+    MutexLock obs(obs_mu_);
+#else
+    // Fixed: follow the canonical order obs_mu_ before log_mu_, the
+    // same order Drain() -> HelperLocksLog() establishes.
+    MutexLock obs(obs_mu_);
+    MutexLock log(log_mu_);
+#endif
+    ++appended_;
+  }
+
+ private:
+  Mutex obs_mu_;
+  Mutex log_mu_;
+  int appended_ = 0;
+};
+
+}  // namespace ppr

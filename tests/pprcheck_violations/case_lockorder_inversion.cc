@@ -1,0 +1,38 @@
+// Seeded violation: two code paths acquire the same pair of mutexes in
+// opposite orders — the classic AB/BA deadlock. Thread 1 in Forward()
+// holding a_ and thread 2 in Backward() holding b_ block on each other
+// forever. Clang's capability annotations cannot see this (each access
+// is correctly guarded); only the acquisition-order graph can.
+//
+// pprcheck-expect: lock-order
+#include "common/mutex.h"
+
+namespace ppr {
+
+class PairedState {
+ public:
+  void Forward() {
+    MutexLock a(a_);
+    MutexLock b(b_);
+    ++transfers_;
+  }
+
+  void Backward() {
+#ifndef FIXED
+    MutexLock b(b_);
+    MutexLock a(a_);
+#else
+    // Fixed: both paths follow the canonical order a_ before b_.
+    MutexLock a(a_);
+    MutexLock b(b_);
+#endif
+    --transfers_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int transfers_ = 0;
+};
+
+}  // namespace ppr

@@ -1,0 +1,34 @@
+// Seeded violation: self-deadlock through a helper. Record() holds mu_
+// and calls Lower(), which locks mu_ again; ppr::Mutex wraps a
+// non-recursive std::mutex, so the second acquisition blocks forever.
+// The acquisition summary of Lower() contains mu_, producing the
+// mu_ -> mu_ self-edge at Record()'s call site.
+//
+// pprcheck-expect: lock-order
+#include "common/mutex.h"
+
+namespace ppr {
+
+class Recorder {
+ public:
+  void Lower() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+  void Record() {
+    MutexLock lock(mu_);
+#ifndef FIXED
+    Lower();
+#else
+    // Fixed: do the work inline instead of re-entering the lock.
+    ++count_;
+#endif
+  }
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace ppr

@@ -1,0 +1,31 @@
+// Seeded violation: calling a REQUIRES(GlobalObsMutex())-annotated
+// helper without holding the capability. The helper itself is correct
+// both ways — its annotation charges the lock to the caller (this is
+// the pattern the pprlint obs-lock rule historically missed and now
+// accepts) — but the caller must actually take the lock.
+//
+// pprcheck-expect: obs-lock-ast
+#include "common/mutex.h"
+#include "obs/obs_lock.h"
+
+namespace ppr {
+
+class FlushSink {
+ public:
+  void FlushLocked() REQUIRES(GlobalObsMutex()) { ++flushes_; }
+
+  void Flush() {
+#ifndef FIXED
+    FlushLocked();
+#else
+    // Fixed: acquire the capability the callee's contract demands.
+    MutexLock lock(GlobalObsMutex());
+    FlushLocked();
+#endif
+  }
+
+ private:
+  int flushes_ = 0;
+};
+
+}  // namespace ppr

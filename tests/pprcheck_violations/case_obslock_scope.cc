@@ -1,0 +1,28 @@
+// Seeded violation the regex linter provably cannot catch: a MutexLock
+// on GlobalObsMutex *in a nested scope that has already closed* by the
+// time GlobalMetrics() is called. pprlint's obs-lock rule looks 20
+// lines up for a MutexLock and finds one; only scope-accurate analysis
+// sees that the lock was released at the closing brace.
+//
+// pprcheck-expect: obs-lock-ast
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/obs_lock.h"
+
+namespace ppr {
+
+inline void BumpCaseCounter() {
+#ifndef FIXED
+  {
+    MutexLock lock(GlobalObsMutex());
+    // ... unrelated guarded work; the scope ends here ...
+  }
+  GlobalMetrics().AddCounter("pprcheck_case_counter", 1);
+#else
+  // Fixed: the call happens inside the scope that holds the lock.
+  MutexLock lock(GlobalObsMutex());
+  GlobalMetrics().AddCounter("pprcheck_case_counter", 1);
+#endif
+}
+
+}  // namespace ppr

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Seeded-violation harness for tools/pprcheck.
+
+Mirrors tests/thread_safety_compile/runner.py: each case_*.cc seeds at
+least one violation that pprcheck must flag (the case declares which
+checks via `// pprcheck-expect: <check>` comments), and the same file
+compiled with -DFIXED contains the corrected code and must come back
+with zero findings.
+
+Requires a clang able to emit -ast-dump=json; exits 77 (the ctest
+SKIP_RETURN_CODE convention) when none is available, so the suite stays
+green on gcc-only hosts while CI runs the real thing.
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+SKIP = 77
+EXPECT_RE = re.compile(r"pprcheck-expect:\s*([a-z-]+)")
+
+CLANG_CANDIDATES = [
+    "clang++", "clang++-20", "clang++-19", "clang++-18", "clang++-17",
+    "clang++-16", "clang++-15", "clang++-14", "clang",
+]
+
+
+def find_clang(explicit):
+    for cand in ([explicit] if explicit else []) + CLANG_CANDIDATES:
+        try:
+            out = subprocess.run([cand, "--version"], capture_output=True,
+                                 text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if out.returncode == 0 and "clang" in out.stdout.lower():
+            return cand
+    return None
+
+
+def run_pprcheck(src_root, compiler, case, defines, ast_cache):
+    cmd = [sys.executable, os.path.join(src_root, "tools", "pprcheck"),
+           "run", "--source-root", src_root, "--compiler", compiler,
+           "--tu", case]
+    for d in defines:
+        cmd += ["--define", d]
+    if ast_cache:
+        cmd += ["--ast-cache", ast_cache]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--source-root", default=None)
+    parser.add_argument("--compiler", default=None)
+    parser.add_argument("--ast-cache", default=None)
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    src_root = os.path.abspath(args.source_root or
+                               os.path.join(here, "..", ".."))
+
+    compiler = find_clang(args.compiler)
+    if compiler is None:
+        print("SKIPPED: no clang compiler found; pprcheck needs "
+              "-ast-dump=json")
+        return SKIP
+
+    cases = sorted(glob.glob(os.path.join(here, "case_*.cc")))
+    if not cases:
+        print("ERROR: no case files found in", here)
+        return 1
+
+    failures = 0
+    for case in cases:
+        name = os.path.basename(case)
+        with open(case, "r", encoding="utf-8") as f:
+            expected = sorted(set(EXPECT_RE.findall(f.read())))
+        if not expected:
+            print("FAIL %s: no pprcheck-expect markers" % name)
+            failures += 1
+            continue
+
+        plain = run_pprcheck(src_root, compiler, case, [], args.ast_cache)
+        ok = True
+        if plain.returncode != 1:
+            print("FAIL %s: seeded variant exited %d (want 1)" % (
+                name, plain.returncode))
+            sys.stdout.write(plain.stdout + plain.stderr)
+            ok = False
+        else:
+            for check in expected:
+                if ("[%s]" % check) not in plain.stdout:
+                    print("FAIL %s: expected a [%s] finding, got:" % (
+                        name, check))
+                    sys.stdout.write(plain.stdout)
+                    ok = False
+
+        fixed = run_pprcheck(src_root, compiler, case, ["FIXED"],
+                             args.ast_cache)
+        if fixed.returncode != 0:
+            print("FAIL %s: -DFIXED variant exited %d (want 0 findings)" % (
+                name, fixed.returncode))
+            sys.stdout.write(fixed.stdout + fixed.stderr)
+            ok = False
+
+        if ok:
+            print("PASS %s (flags %s; fixed variant clean)" % (
+                name, ", ".join(expected)))
+        else:
+            failures += 1
+
+    total = len(cases)
+    print("pprcheck violation harness: %d/%d cases behaved as expected"
+          % (total - failures, total))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

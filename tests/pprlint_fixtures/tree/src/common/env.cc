@@ -1,0 +1,6 @@
+// Fixture: the one file exempt from raw-getenv.
+#include <cstdlib>
+
+namespace fx {
+const char* ExemptGetenv() { return getenv("FX_HOME"); }
+}  // namespace fx

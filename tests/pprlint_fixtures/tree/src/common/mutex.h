@@ -1,0 +1,7 @@
+// Fixture: the one file exempt from raw-sync — a raw std::mutex here
+// must NOT be flagged.
+#include <mutex>
+
+namespace fx {
+inline std::mutex g_exempt_mutex;
+}  // namespace fx

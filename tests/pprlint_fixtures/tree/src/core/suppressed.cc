@@ -1,0 +1,11 @@
+// Fixture: allow() markers must suppress the finding on their line, and
+// a marker for the WRONG rule must not.
+#include <mutex>
+
+namespace fx {
+
+std::mutex g_suppressed;  // pprlint: allow(raw-sync)
+
+int* g_wrong_marker = new int(1);  // pprlint: allow(raw-sync)
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Fixture PlanVerifierHooks: on_plan is referenced by the fixture test
+// file, on_result is not — hook-coverage must flag exactly on_result.
+#include <functional>
+
+namespace fx {
+
+struct PlanVerifierHooks {
+  std::function<void(int)> on_plan;
+  std::function<void(int)> on_result;
+};
+
+}  // namespace fx

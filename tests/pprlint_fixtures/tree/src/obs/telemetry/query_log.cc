@@ -1,0 +1,18 @@
+// Fixture serializer: emits seq/wall_ns/error plus stale_key, which has
+// no backing struct field — telemetry-sync must flag stale_key (and the
+// struct's ghost_field, which never appears here).
+#include "obs/telemetry/query_log.h"
+
+#include <sstream>
+
+namespace fx {
+
+std::string QueryRecordToJson(const QueryRecord& record) {
+  std::ostringstream out;
+  out << "{\"seq\":" << record.seq << ",\"wall_ns\":" << record.wall_ns
+      << ",\"error\":\"" << record.error << "\""
+      << ",\"stale_key\":0}";
+  return out.str();
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture QueryRecord: ghost_field is in the struct but never
+// serialized — telemetry-sync must flag it.
+#include <cstdint>
+#include <string>
+
+namespace fx {
+
+struct QueryRecord {
+  uint64_t seq = 0;
+  int64_t wall_ns = 0;
+  std::string error;
+  int32_t ghost_field = 0;
+};
+
+}  // namespace fx

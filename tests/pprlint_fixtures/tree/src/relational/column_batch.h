@@ -1,0 +1,7 @@
+// Fixture: the batch layer itself is exempt from row-emit.
+namespace fx {
+struct ColumnBatch {
+  void EmitTuple(int row);
+  void Drive() { EmitTuple(0); }
+};
+}  // namespace fx

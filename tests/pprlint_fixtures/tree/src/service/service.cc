@@ -1,0 +1,36 @@
+// Fixture service file: every obs-lock scenario in one place.
+//   UnlockedTouch        — no lock anywhere: must be flagged.
+//   MarkedTouch          — allow(obs-lock) marker: suppressed.
+//   FlushLocked          — REQUIRES(GlobalObsMutex()) definition: clean.
+//   DeclarationDoesNotArm — a REQUIRES *declaration* promises nothing
+//                           about this file; the touch after it is
+//                           still flagged.
+//   LockedTouch          — MutexLock within the window: clean.
+
+namespace fx {
+
+void UnlockedTouch() {
+  GlobalMetrics().AddCounter("fx.unlocked", 1);  // seeded: obs-lock
+}
+
+void MarkedTouch() {
+  GlobalMetrics().AddCounter("fx.marked", 1);  // pprlint: allow(obs-lock)
+}
+
+void FlushLocked() REQUIRES(GlobalObsMutex()) {
+  GlobalMetrics().AddCounter("fx.required", 1);
+  FlushQueryLogArtifact();
+}
+
+void FlushAll() REQUIRES(GlobalObsMutex());
+
+void DeclarationDoesNotArm() {
+  GlobalMetrics().AddCounter("fx.after_decl", 1);  // seeded: obs-lock
+}
+
+void LockedTouch() {
+  MutexLock lock(GlobalObsMutex());
+  GlobalMetrics().AddCounter("fx.locked", 1);
+}
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture test: references on_plan (covered) but never on_result.
+#include "exec/verify_hook.h"
+
+namespace fx {
+void Exercise(PlanVerifierHooks* hooks) {
+  if (hooks->on_plan) hooks->on_plan(1);
+}
+}  // namespace fx

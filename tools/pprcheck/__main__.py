@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""pprcheck — AST-level static analysis for the ppr tree.
+
+A Python driver over `clang -Xclang -ast-dump=json` per translation
+unit, following the pprlint / thread_safety_compile precedent: no
+LibTooling build dependency, and exit code 77 (the ctest skip
+convention) when no clang is on PATH.
+
+Usage:
+  python3 tools/pprcheck run [--source-root DIR] [--compiler BIN]...
+      [--tu FILE]... [--ast-json FILE]... [--ast-cache DIR]
+      [--check NAME]... [--define MACRO]... [--report FILE]
+      [--lock-order-out FILE] [--watch REGEX]
+  python3 tools/pprcheck list-checks
+
+Exit codes: 0 clean, 1 findings, 2 usage/toolchain error, 77 skipped
+(no clang available and no pre-dumped --ast-json inputs).
+
+`--ast-json` accepts pre-dumped AST JSON (optionally .gz), which is how
+the unit tests exercise the analysis without a clang toolchain and how
+CI reuses dumps between steps via --ast-cache.
+"""
+
+import argparse
+import gzip
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import astload  # noqa: E402
+import checks   # noqa: E402
+import model    # noqa: E402
+
+SKIP = 77
+
+CLANG_CANDIDATES = [
+    "clang++", "clang++-20", "clang++-19", "clang++-18", "clang++-17",
+    "clang++-16", "clang++-15", "clang++-14", "clang",
+]
+
+
+def find_clang(explicit):
+    """Probe candidate compilers; returns the first real clang or None."""
+    for cand in list(explicit) + CLANG_CANDIDATES:
+        try:
+            out = subprocess.run([cand, "--version"], capture_output=True,
+                                 text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if out.returncode == 0 and "clang" in out.stdout.lower():
+            return cand
+    return None
+
+
+def default_tus(root):
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _, files in os.walk(src):
+        for name in sorted(files):
+            if name.endswith(".cc"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def _tree_fingerprint(root):
+    """Hash of every header under src/ — cache keys must change when an
+    included header changes, not just the TU itself."""
+    h = hashlib.sha256()
+    src = os.path.join(root, "src")
+    for dirpath, _, files in sorted(os.walk(src)):
+        for name in sorted(files):
+            if not name.endswith(".h"):
+                continue
+            path = os.path.join(dirpath, name)
+            h.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as f:
+                h.update(hashlib.sha256(f.read()).digest())
+    return h.hexdigest()
+
+
+def dump_ast(compiler, root, tu, defines, cache_dir, tree_fp):
+    """Run clang on one TU and return the parsed AST JSON root."""
+    cmd = [compiler, "-std=c++20", "-fsyntax-only", "-Wno-everything",
+           "-I", os.path.join(root, "src")]
+    for d in defines:
+        cmd.append("-D" + d)
+    cmd += ["-Xclang", "-ast-dump=json", tu]
+
+    cache_path = None
+    if cache_dir:
+        key = hashlib.sha256()
+        key.update(" ".join(cmd).encode())
+        key.update(tree_fp.encode())
+        with open(tu, "rb") as f:
+            key.update(f.read())
+        cache_path = os.path.join(cache_dir, key.hexdigest() + ".json.gz")
+        if os.path.exists(cache_path):
+            return astload.load_tu(cache_path)
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write("pprcheck: clang failed on %s:\n%s\n" % (
+            tu, proc.stderr))
+        raise RuntimeError("ast dump failed for " + tu)
+    if cache_path:
+        os.makedirs(cache_dir, exist_ok=True)
+        tmp = cache_path + ".tmp"
+        with gzip.open(tmp, "wt", encoding="utf-8") as f:
+            f.write(proc.stdout)
+        os.replace(tmp, cache_path)
+    return astload.load_tu_bytes(proc.stdout)
+
+
+def cmd_list_checks():
+    for name in sorted(checks.CHECKS):
+        print("%-20s %s" % (name, checks.CHECKS[name]))
+    return 0
+
+
+def cmd_run(args):
+    root = os.path.abspath(args.source_root)
+    for name in args.check or ():
+        if name not in checks.CHECKS:
+            sys.stderr.write("pprcheck: unknown check %r (see list-checks)\n"
+                             % name)
+            return 2
+
+    tus = [os.path.abspath(t) for t in (args.tu or ())]
+    if not tus and not args.ast_json:
+        tus = default_tus(root)
+
+    compiler = None
+    if tus:
+        compiler = find_clang(args.compiler or [])
+        if compiler is None:
+            sys.stderr.write(
+                "pprcheck: SKIPPED: no clang compiler found (tried "
+                "--compiler args and PATH candidates); AST dumps need "
+                "clang.\n")
+            return SKIP
+
+    m = model.Model()
+    tree_fp = _tree_fingerprint(root) if (tus and args.ast_cache) else ""
+    for tu in tus:
+        try:
+            tu_root = dump_ast(compiler, root, tu, args.define or [],
+                               args.ast_cache, tree_fp)
+        except RuntimeError:
+            return 2
+        m.add_tu(tu_root, os.path.relpath(tu, root))
+    for path in args.ast_json or ():
+        m.add_tu(astload.load_tu(path), os.path.basename(path))
+
+    findings, graph = checks.run_checks(m, selected=args.check,
+                                        watch=args.watch)
+    findings = checks.suppress_allowed(findings, root)
+
+    report = checks.render_report(m, findings, graph, root)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(report)
+    if args.lock_order_out:
+        with open(args.lock_order_out, "w", encoding="utf-8") as f:
+            json.dump(checks.lock_order_artifact(graph), f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+
+    for f in findings:
+        print(f.render(root))
+    print("pprcheck: %d finding(s) across %d TU(s)" % (
+        len(findings), len(m.tus)))
+    return 1 if findings else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="pprcheck", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="analyze translation units")
+    run.add_argument("--source-root", default=".")
+    run.add_argument("--compiler", action="append", default=[],
+                     help="clang binary to try first (repeatable)")
+    run.add_argument("--tu", action="append", default=[],
+                     help="translation unit to analyze (default: src/**/*.cc)")
+    run.add_argument("--ast-json", action="append", default=[],
+                     help="pre-dumped AST JSON file (.json or .json.gz)")
+    run.add_argument("--ast-cache", default=None,
+                     help="directory for gzipped AST dump reuse")
+    run.add_argument("--check", action="append", default=[],
+                     help="restrict to one check (repeatable)")
+    run.add_argument("--define", action="append", default=[],
+                     help="extra -D macro for the clang invocation")
+    run.add_argument("--report", default=None,
+                     help="write the full text report here")
+    run.add_argument("--lock-order-out", default=None,
+                     help="write the lock-order graph/order JSON here")
+    run.add_argument("--watch", default=checks.DEFAULT_WATCH,
+                     help="regex over capability names watched by "
+                          "blocking-under-lock")
+
+    sub.add_parser("list-checks", help="print available checks")
+
+    args = parser.parse_args(argv)
+    if args.command == "list-checks":
+        return cmd_list_checks()
+    if args.command == "run":
+        return cmd_run(args)
+    parser.print_usage(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,107 @@
+"""Loading and traversal of `clang -Xclang -ast-dump=json` translation units.
+
+Two problems are solved here, both size-driven.  A TU that includes the
+standard library dumps hundreds of megabytes of JSON, almost all of it
+std:: machinery we never analyze; `ppr_top_level_decls` therefore prunes
+the walk to top-level `namespace ppr` blocks (every line of repo code
+lives in that namespace — DESIGN.md §14) plus nothing else.  Second, the
+dump elides "file" and "line" keys whenever they repeat the previously
+*printed* location, so absolute positions can only be recovered by
+replaying the printer's traversal order; `LocTracker` does that replay.
+
+The tracker is deliberately best-effort: pruned subtrees advance the
+printer's sticky state without us seeing it, so the first location after
+a pruned sibling may be attributed to a stale file until the next
+explicit "file" key re-synchronizes.  Checks never make decisions from
+locations — they only label findings — so a stale label is cosmetic.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+
+class LocTracker:
+    """Replays clang's sticky location emission.
+
+    The JSON printer emits "file"/"line" only when they differ from the
+    last location it printed, and it prints `loc` before `range.begin`
+    before `range.end` for each node, parent-before-children.  `locate`
+    mirrors exactly that order.
+    """
+
+    def __init__(self):
+        self.file = ""
+        self.line = 0
+
+    def visit(self, loc):
+        """Consume one printed location object; return its (file, line)."""
+        if not isinstance(loc, dict):
+            return self.file, self.line
+        if "spellingLoc" in loc or "expansionLoc" in loc:
+            # Macro locations print the spelling first, then the
+            # expansion; the expansion is where the code "is".
+            eff = (self.file, self.line)
+            if "spellingLoc" in loc:
+                self.visit(loc["spellingLoc"])
+            if "expansionLoc" in loc:
+                eff = self.visit(loc["expansionLoc"])
+            return eff
+        if "file" in loc:
+            self.file = loc["file"]
+        if "line" in loc:
+            self.line = loc["line"]
+        return self.file, self.line
+
+    def locate(self, node):
+        """Advance past `node`'s own locations; return its (file, line).
+
+        Decls use `loc` as their anchor; statements/expressions only
+        carry `range`, whose begin is the natural anchor.
+        """
+        eff = None
+        if "loc" in node:
+            eff = self.visit(node["loc"])
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            begin = self.visit(rng.get("begin", {}))
+            if eff is None:
+                eff = begin
+            self.visit(rng.get("end", {}))
+        if eff is None:
+            eff = (self.file, self.line)
+        return eff
+
+
+def load_tu(path):
+    """Load one AST dump (plain .json or gzipped .json.gz) into a dict."""
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            return json.load(f)
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def load_tu_bytes(data):
+    """Load an AST dump already in memory (bytes or str)."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8", errors="replace")
+    return json.loads(data)
+
+
+def ppr_top_level_decls(tu_root, tracker):
+    """Yield the children of every top-level `namespace ppr` block.
+
+    Non-ppr top-level decls (std headers, extern "C" blocks, builtins)
+    are skipped without descending; their locations are not replayed,
+    which is exactly the stale-label tradeoff documented above.  The
+    tracker is advanced for the namespace nodes themselves so that
+    consecutive ppr blocks in one file resolve correctly.
+    """
+    for node in tu_root.get("inner", ()):
+        if not isinstance(node, dict):
+            continue
+        if node.get("kind") == "NamespaceDecl" and node.get("name") == "ppr":
+            tracker.locate(node)
+            yield from node.get("inner", ())

@@ -1,0 +1,721 @@
+"""Fact extraction from clang AST dumps.
+
+One `Model` accumulates facts across every translation unit: for each
+function (keyed by qualified name, template arguments stripped, so the
+`BoundedQueue` pattern and its specializations merge) we record
+
+  * thread-safety annotations (REQUIRES / ACQUIRE / ASSERT / NO_TSA),
+  * every `MutexLock` construction and explicit `Mutex::Lock` call,
+    together with the set of capabilities held at that point,
+  * every resolved call, with the held set at the call site,
+  * every directly blocking operation (socket calls, sleeps,
+    `CondVar::Wait`, `std::thread::join`),
+  * every arena-escape event (a pointer/span tainted by an `ExecArena`
+    allocation stored somewhere that outlives the `ArenaScope`).
+
+Capabilities are class-level names ("QueryService::mu_",
+"QueryLog::Shard::mu", "GlobalObsMutex()"): a `MemberExpr` resolves
+through `referencedMemberDecl` to the owning record, so `shard.mu` and
+`other_shard.mu` collapse to one node.  That is deliberately coarse —
+per-instance orderings (locking two shards of one map) would need a
+finer model — and deliberately matches how the canonical order in
+src/common/mutex.h is stated.
+
+The held-set tracking is scope-accurate but flow-insensitive inside a
+compound: a `MutexLock` extends the held set for the remaining
+statements of its enclosing `CompoundStmt` and dies with it, which is
+exactly the RAII semantics; branches merge pessimistically (a lock
+taken inside an `if` body stays inside that body's compound).  Lambda
+bodies are analyzed as separate anonymous functions with an empty held
+set — they run on whatever thread invokes them, not at creation time.
+"""
+
+from __future__ import annotations
+
+from astload import LocTracker, ppr_top_level_decls
+
+FUNC_KINDS = {
+    "FunctionDecl",
+    "CXXMethodDecl",
+    "CXXConstructorDecl",
+    "CXXDestructorDecl",
+    "CXXConversionDecl",
+}
+
+RECORD_KINDS = {
+    "CXXRecordDecl",
+    "ClassTemplateSpecializationDecl",
+    "ClassTemplatePartialSpecializationDecl",
+}
+
+TEMPLATE_KINDS = {"ClassTemplateDecl", "FunctionTemplateDecl"}
+
+# Wrappers around raw primitives: their bodies are the one sanctioned
+# home of std::mutex / raw allocation, so extracting events from them
+# would only add noise ("MutexLock::mu_" is not a capability anyone
+# orders against).  Attributes are still harvested so REQUIRES on
+# CondVar::Wait participates in call-site checks.
+SKIP_EVENT_OWNERS = {"Mutex", "MutexLock", "CondVar", "ExecArena", "ArenaScope"}
+
+# Wrapper expression kinds that carry no semantics of their own.
+PEEL_KINDS = {
+    "ImplicitCastExpr",
+    "ExprWithCleanups",
+    "MaterializeTemporaryExpr",
+    "ParenExpr",
+    "ConstantExpr",
+    "CXXBindTemporaryExpr",
+    "CXXFunctionalCastExpr",
+    "CXXStaticCastExpr",
+    "CXXConstCastExpr",
+    "CStyleCastExpr",
+    "FullExpr",
+}
+
+# Free / unresolved names that block the calling thread.  `join` is
+# handled separately (only on a std::thread base) because the bare name
+# is too generic.
+BLOCKING_BARE_NAMES = {
+    "send", "recv", "accept", "connect", "poll", "select",
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until",
+}
+
+# Repo functions that block by design (bounded-queue waits, pool
+# drains).  Matched as qname suffixes so namespace spelling does not
+# matter.  Their blocking nature also falls out of their own bodies'
+# CondVar::Wait events, but naming them keeps the check meaningful even
+# if only declarations are visible in a TU.
+BLOCKING_QNAME_SUFFIXES = (
+    "BoundedQueue::Push",
+    "BoundedQueue::Pop",
+    "ThreadPool::Wait",
+)
+
+CONTAINER_STORE_METHODS = {
+    "push_back", "emplace_back", "insert", "emplace", "push", "assign",
+}
+
+ARENA_SOURCE_METHODS = {"Allocate", "AllocSpan"}
+
+# Span/pointer-derived accessors that keep pointing into the arena.
+# begin()/end() are deliberately absent: iterator pairs feed copying
+# idioms (vector::assign, range constructors), and flagging those would
+# punish exactly the fix we want people to write.
+ARENA_VIEW_METHODS = {"data", "subspan", "first", "last"}
+
+
+def _is_ptrish(qual_type):
+    """True for types that can alias arena storage (pointers, spans)."""
+    if not qual_type:
+        return False
+    return "*" in qual_type or "span" in qual_type
+
+
+def _strip_template_args(name):
+    """BoundedQueue<int> -> BoundedQueue (depth-aware)."""
+    if "<" not in name:
+        return name
+    out = []
+    depth = 0
+    for ch in name:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+class FunctionInfo:
+    """Everything the checks need to know about one function."""
+
+    def __init__(self, qname):
+        self.qname = qname
+        self.file = ""
+        self.line = 0
+        self.params = set()        # parameter names (filter dependent caps)
+        self.requires = set()      # REQUIRES caps as written (pre-filter)
+        self.acquires = set()      # ACQUIRE caps as written
+        self.no_tsa = False
+        self.has_body = False
+        self.owner_skip = False    # Mutex/ExecArena wrapper internals
+        self.acquire_events = []   # {cap, held, file, line, via}
+        self.call_events = []      # {callee, held, file, line}
+        self.blocking_events = []  # {kind, detail, held, exempt, file, line}
+        self.escape_events = []    # {kind, detail, scope_active, file, line}
+
+    def requires_static(self):
+        """REQUIRES caps that name something global or class-level.
+
+        Parameter-dependent capabilities (CondVar::Wait's REQUIRES(mu))
+        cannot be matched across call sites by name and are dropped.
+        """
+        out = set()
+        for cap in self.requires:
+            base = cap.split("(")[0].split("::")[-1].split(".")[0]
+            if base in self.params or "this" in cap:
+                continue
+            out.add(cap)
+        return out
+
+    def acquires_static(self):
+        out = set()
+        for cap in self.acquires:
+            base = cap.split("(")[0].split("::")[-1].split(".")[0]
+            if base in self.params or "this" in cap:
+                continue
+            out.add(cap)
+        return out
+
+
+class TuIndex:
+    """Per-TU decl-id maps (ids are only unique within one dump)."""
+
+    def __init__(self):
+        self.funcs = {}    # id -> qname
+        self.fields = {}   # id -> "Owner::field"
+        self.records = {}  # id -> "Owner"
+
+
+class Model:
+    """Cross-TU accumulation of FunctionInfos."""
+
+    def __init__(self):
+        self.functions = {}  # qname -> FunctionInfo
+        self.tus = []
+        self.stats = {"functions": 0, "lock_sites": 0, "calls": 0}
+
+    def function(self, qname):
+        info = self.functions.get(qname)
+        if info is None:
+            info = FunctionInfo(qname)
+            self.functions[qname] = info
+        return info
+
+    def add_tu(self, tu_root, tu_label):
+        self.tus.append(tu_label)
+        index = TuIndex()
+        tracker = LocTracker()
+        decls = list(ppr_top_level_decls(tu_root, LocTracker()))
+        for node in decls:
+            _index_decl(node, (), index)
+        tracker = LocTracker()
+        for node in decls:
+            _Extractor(self, index, tracker).extract_decl(node, ())
+        self.stats["functions"] = len(self.functions)
+        self.stats["lock_sites"] = sum(
+            len(f.acquire_events) for f in self.functions.values())
+        self.stats["calls"] = sum(
+            len(f.call_events) for f in self.functions.values())
+
+
+def _qname(scope, name):
+    parts = [_strip_template_args(p) for p in scope if p]
+    if name:
+        parts.append(_strip_template_args(name))
+    return "::".join(parts)
+
+
+def _index_decl(node, scope, index):
+    """Pass 1: map decl ids to qualified names.
+
+    Descends into function bodies too, so records declared inside a
+    function (service.cc's Latch) get their fields indexed.
+    """
+    if not isinstance(node, dict):
+        return
+    kind = node.get("kind")
+    if kind == "NamespaceDecl":
+        sub = scope + (node.get("name", ""),) if node.get("name") else scope
+        for child in node.get("inner", ()):
+            _index_decl(child, sub, index)
+    elif kind in TEMPLATE_KINDS:
+        for child in node.get("inner", ()):
+            _index_decl(child, scope, index)
+    elif kind in RECORD_KINDS:
+        name = node.get("name", "")
+        sub = scope + (name,) if name else scope
+        if node.get("id") and name:
+            index.records[node["id"]] = _qname(scope, name)
+        for child in node.get("inner", ()):
+            _index_decl(child, sub, index)
+    elif kind in FUNC_KINDS:
+        name = node.get("name", "")
+        qname = _resolve_function_qname(node, scope, name, index)
+        if node.get("id"):
+            index.funcs[node["id"]] = qname
+        sub = scope + (name,) if name else scope
+        for child in node.get("inner", ()):
+            _index_decl(child, sub, index)
+    elif kind == "FieldDecl":
+        if node.get("id") and node.get("name"):
+            index.fields[node["id"]] = _qname(scope, node["name"])
+    else:
+        for child in node.get("inner", ()):
+            _index_decl(child, scope, index)
+
+
+def _resolve_function_qname(node, scope, name, index):
+    """Out-of-line methods carry their class via parentDeclContextId or
+    previousDecl; in-class ones get it from the lexical scope."""
+    parent = node.get("parentDeclContextId")
+    if parent and parent in index.records:
+        return index.records[parent] + "::" + _strip_template_args(name)
+    prev = node.get("previousDecl")
+    if prev and prev in index.funcs:
+        return index.funcs[prev]
+    return _qname(scope, name)
+
+
+class _Extractor:
+    """Pass 2: walk decls with the location tracker, extract events."""
+
+    def __init__(self, model, index, tracker):
+        self.model = model
+        self.index = index
+        self.tracker = tracker
+
+    # ---------- decl walk ----------
+
+    def extract_decl(self, node, scope):
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind")
+        if kind is None:
+            return
+        self.tracker.locate(node)
+        if kind == "NamespaceDecl":
+            sub = scope + (node.get("name", ""),) if node.get("name") else scope
+            for child in node.get("inner", ()):
+                self.extract_decl(child, sub)
+        elif kind in TEMPLATE_KINDS:
+            for child in node.get("inner", ()):
+                self.extract_decl(child, scope)
+        elif kind in RECORD_KINDS:
+            name = node.get("name", "")
+            sub = scope + (name,) if name else scope
+            for child in node.get("inner", ()):
+                self.extract_decl(child, sub)
+        elif kind in FUNC_KINDS:
+            self._extract_function(node, scope)
+        else:
+            for child in node.get("inner", ()):
+                self.extract_decl(child, scope)
+
+    def _extract_function(self, node, scope):
+        name = node.get("name", "")
+        qname = _resolve_function_qname(node, scope, name, self.index)
+        info = self.model.function(qname)
+        file, line = self.tracker.file, self.tracker.line
+        if not info.file:
+            info.file, info.line = file, line
+        owner = qname.split("::")[-2] if "::" in qname else ""
+        if owner in SKIP_EVENT_OWNERS:
+            info.owner_skip = True
+
+        body = None
+        params = set()
+        local_ids = set()
+        for child in node.get("inner", ()):
+            ckind = child.get("kind") if isinstance(child, dict) else None
+            if ckind == "ParmVarDecl":
+                self.tracker.locate(child)
+                if child.get("name"):
+                    params.add(child["name"])
+                if child.get("id"):
+                    local_ids.add(child["id"])
+            elif ckind == "RequiresCapabilityAttr":
+                self.tracker.locate(child)
+                info.requires |= self._attr_caps(child)
+            elif ckind == "AcquireCapabilityAttr":
+                self.tracker.locate(child)
+                info.acquires |= self._attr_caps(child)
+            elif ckind == "NoThreadSafetyAnalysisAttr":
+                self.tracker.locate(child)
+                info.no_tsa = True
+            elif ckind == "CompoundStmt":
+                body = child
+            # other attrs / init exprs are handled in the body walk order
+        info.params |= params
+
+        if body is None:
+            # Declaration only (or defaulted): still replay remaining
+            # children for tracker fidelity.
+            for child in node.get("inner", ()):
+                if isinstance(child, dict) and child.get("kind") not in (
+                        "ParmVarDecl", "RequiresCapabilityAttr",
+                        "AcquireCapabilityAttr", "NoThreadSafetyAnalysisAttr"):
+                    self._replay(child)
+            return
+
+        # Constructor initializers and other pre-body children execute
+        # before the body; walk them in the entry context.
+        if info.has_body:
+            # Another TU already supplied this body (inline header
+            # function): replay locations only, keep the first
+            # extraction so events are not duplicated.
+            for child in node.get("inner", ()):
+                self._replay(child)
+            return
+        info.has_body = True
+
+        if info.owner_skip:
+            for child in node.get("inner", ()):
+                self._replay(child)
+            return
+
+        walker = _BodyWalker(self, info, local_ids)
+        held = sorted(info.requires_static())
+        ctx = {"arena": False}
+        for child in node.get("inner", ()):
+            ckind = child.get("kind") if isinstance(child, dict) else None
+            if ckind in ("ParmVarDecl", "RequiresCapabilityAttr",
+                         "AcquireCapabilityAttr",
+                         "NoThreadSafetyAnalysisAttr"):
+                continue  # already located above
+            walker.walk(child, held, ctx)
+
+    def _replay(self, node):
+        """Advance the tracker through a subtree without extracting."""
+        if not isinstance(node, dict) or "kind" not in node:
+            return
+        self.tracker.locate(node)
+        for child in node.get("inner", ()):
+            self._replay(child)
+
+    # ---------- shared expression helpers (read-only, no tracker) ----------
+
+    def _attr_caps(self, attr_node):
+        caps = set()
+        for child in attr_node.get("inner", ()):
+            cap = self.render(child)
+            if cap:
+                caps.add(cap)
+        return caps
+
+    def peel(self, node):
+        while isinstance(node, dict) and node.get("kind") in PEEL_KINDS:
+            inner = node.get("inner") or ()
+            if not inner:
+                return node
+            node = inner[0]
+        return node
+
+    def render(self, node):
+        """Render an expression as a capability-style name, or None."""
+        node = self.peel(node)
+        if not isinstance(node, dict):
+            return None
+        kind = node.get("kind")
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl") or {}
+            rid = ref.get("id")
+            if ref.get("kind") in FUNC_KINDS and rid in self.index.funcs:
+                return self.index.funcs[rid]
+            return ref.get("name")
+        if kind == "MemberExpr":
+            mid = node.get("referencedMemberDecl")
+            if mid in self.index.fields:
+                return self.index.fields[mid]
+            if mid in self.index.funcs:
+                return self.index.funcs[mid]
+            base = node.get("inner") or ()
+            base_name = self.render(base[0]) if base else None
+            name = node.get("name", "")
+            if base_name and base_name != "this":
+                return base_name + "." + name
+            return name or None
+        if kind == "CXXThisExpr":
+            return "this"
+        if kind in ("CallExpr", "CXXMemberCallExpr"):
+            inner = node.get("inner") or ()
+            callee = self.render(inner[0]) if inner else None
+            return (callee + "()") if callee else None
+        if kind == "UnaryOperator":
+            inner = node.get("inner") or ()
+            return self.render(inner[0]) if inner else None
+        return None
+
+    def resolve_callee(self, call_node):
+        """Return (key, base_expr_or_None) for a call expression."""
+        inner = call_node.get("inner") or ()
+        if not inner:
+            return None, None
+        callee = self.peel(inner[0])
+        if not isinstance(callee, dict):
+            return None, None
+        kind = callee.get("kind")
+        if kind == "MemberExpr":
+            mid = callee.get("referencedMemberDecl")
+            base = (callee.get("inner") or (None,))[0]
+            if mid in self.index.funcs:
+                return self.index.funcs[mid], base
+            return callee.get("name"), base
+        if kind == "DeclRefExpr":
+            ref = callee.get("referencedDecl") or {}
+            rid = ref.get("id")
+            if rid in self.index.funcs:
+                return self.index.funcs[rid], None
+            return ref.get("name"), None
+        return None, None
+
+
+class _BodyWalker:
+    """Statement walk for one function body."""
+
+    def __init__(self, extractor, info, local_ids):
+        self.ex = extractor
+        self.info = info
+        self.locals = local_ids
+        self.tainted = set()   # decl ids of arena-aliasing locals
+        self.lambda_seq = 0
+
+    # -- taint ------------------------------------------------------------
+
+    def is_tainted(self, node):
+        node = self.ex.peel(node)
+        if not isinstance(node, dict):
+            return False
+        kind = node.get("kind")
+        inner = node.get("inner") or ()
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl") or {}
+            return ref.get("id") in self.tainted
+        if kind == "CXXMemberCallExpr":
+            callee = self.ex.peel(inner[0]) if inner else None
+            if isinstance(callee, dict) and callee.get("kind") == "MemberExpr":
+                name = callee.get("name", "")
+                base = (callee.get("inner") or (None,))[0]
+                if name in ARENA_SOURCE_METHODS:
+                    return True
+                if name in ARENA_VIEW_METHODS and base is not None:
+                    return self.is_tainted(base)
+            return False
+        if kind in ("MemberExpr", "ArraySubscriptExpr", "UnaryOperator"):
+            return bool(inner) and self.is_tainted(inner[0])
+        if kind in ("CXXConstructExpr", "InitListExpr"):
+            qual = (node.get("type") or {}).get("qualType", "")
+            if _is_ptrish(qual):
+                return any(self.is_tainted(arg) for arg in inner)
+            return False
+        return False
+
+    def _lvalue_target(self, node):
+        """Classify an assignment target: ('member'|'static', name) or None."""
+        node = self.ex.peel(node)
+        if not isinstance(node, dict):
+            return None
+        kind = node.get("kind")
+        if kind == "MemberExpr":
+            base = (node.get("inner") or (None,))[0]
+            peeled = self.ex.peel(base) if base is not None else None
+            if isinstance(peeled, dict) and peeled.get("kind") == "CXXThisExpr":
+                return ("member", self.ex.render(node) or node.get("name", "?"))
+            # Member of a local object: dies with the local, not a sink;
+            # member of a non-local object: charge like the object.
+            sub = self._lvalue_target(base) if base is not None else None
+            return sub
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl") or {}
+            if ref.get("id") not in self.locals:
+                return ("static", ref.get("name", "?"))
+            return None
+        if kind in ("ArraySubscriptExpr", "UnaryOperator"):
+            inner = node.get("inner") or ()
+            return self._lvalue_target(inner[0]) if inner else None
+        return None
+
+    # -- walk -------------------------------------------------------------
+
+    def walk(self, node, held, ctx):
+        if not isinstance(node, dict) or "kind" not in node:
+            return
+        file, line = self.ex.tracker.locate(node)
+        kind = node["kind"]
+
+        if kind == "CompoundStmt":
+            inner_held = list(held)
+            inner_ctx = dict(ctx)
+            for child in node.get("inner", ()):
+                self.walk(child, inner_held, inner_ctx)
+            return
+
+        if kind == "LambdaExpr":
+            self._walk_lambda(node, file, line)
+            return
+
+        if kind == "VarDecl":
+            self._handle_var_decl(node, held, ctx, file, line)
+            return
+
+        if kind in ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"):
+            self._handle_call(node, held, ctx, file, line)
+            # fall through to generic child walk below
+
+        if kind == "BinaryOperator" and node.get("opcode") == "=":
+            inner = node.get("inner") or ()
+            if len(inner) == 2 and self.is_tainted(inner[1]):
+                target = self._lvalue_target(inner[0])
+                if target is not None:
+                    tkind, tname = target
+                    if tkind == "static" or ctx.get("arena"):
+                        self.info.escape_events.append({
+                            "kind": tkind + "-store", "detail": tname,
+                            "scope_active": bool(ctx.get("arena")),
+                            "file": file, "line": line})
+
+        if kind == "ReturnStmt" and ctx.get("arena"):
+            inner = node.get("inner") or ()
+            if inner and self.is_tainted(inner[0]):
+                self.info.escape_events.append({
+                    "kind": "return", "detail": self.info.qname,
+                    "scope_active": True, "file": file, "line": line})
+
+        for child in node.get("inner", ()):
+            self.walk(child, held, ctx)
+
+    def _walk_lambda(self, node, file, line):
+        """Analyze the lambda body as its own function with empty held set.
+
+        The closure record child duplicates the body inside operator();
+        skip it so events are not recorded twice.  Capture initializers
+        run at creation time but are simple enough in this codebase to
+        replay without extraction.
+        """
+        self.lambda_seq += 1
+        sub_qname = "%s::<lambda#%d>" % (self.info.qname, self.lambda_seq)
+        sub = self.ex.model.function(sub_qname)
+        sub.file, sub.line = file, line
+        body = None
+        for child in node.get("inner", ()):
+            ckind = child.get("kind") if isinstance(child, dict) else None
+            if ckind == "CXXRecordDecl":
+                self.ex._replay(child)
+            elif ckind == "CompoundStmt":
+                body = child
+            else:
+                self.ex._replay(child)
+        if body is None or sub.has_body:
+            if body is not None:
+                self.ex._replay(body)
+            return
+        sub.has_body = True
+        sub_walker = _BodyWalker(self.ex, sub, set(self.locals))
+        sub_walker.tainted = set(self.tainted)
+        sub_walker.walk(body, [], {"arena": False})
+
+    def _handle_var_decl(self, node, held, ctx, file, line):
+        vid = node.get("id")
+        if vid:
+            self.locals.add(vid)
+        qual = (node.get("type") or {}).get("qualType", "")
+
+        if "MutexLock" in qual:
+            cap = self._construct_arg_cap(node)
+            if cap:
+                self._record_acquire(cap, held, file, line, "MutexLock")
+                held.append(cap)
+            for child in node.get("inner", ()):
+                self.walk(child, held, ctx)
+            return
+
+        if "ArenaScope" in qual:
+            ctx["arena"] = True
+            for child in node.get("inner", ()):
+                self.walk(child, held, ctx)
+            return
+
+        init = None
+        for child in node.get("inner", ()):
+            if isinstance(child, dict) and child.get("kind") not in (
+                    "FullComment",):
+                init = child  # last expr child is the initializer
+        if init is not None and vid and _is_ptrish(qual):
+            if self.is_tainted(init):
+                self.tainted.add(vid)
+        for child in node.get("inner", ()):
+            self.walk(child, held, ctx)
+
+    def _construct_arg_cap(self, var_node):
+        for child in var_node.get("inner", ()):
+            peeled = self.ex.peel(child)
+            if isinstance(peeled, dict) and peeled.get("kind") == "CXXConstructExpr":
+                args = peeled.get("inner") or ()
+                if args:
+                    return self.ex.render(args[0])
+        return None
+
+    def _record_acquire(self, cap, held, file, line, via):
+        self.info.acquire_events.append({
+            "cap": cap, "held": tuple(held), "file": file, "line": line,
+            "via": via})
+
+    def _handle_call(self, node, held, ctx, file, line):
+        key, base = self.ex.resolve_callee(node)
+        if key is None:
+            return
+        args = (node.get("inner") or ())[1:]
+        short = key.split("::")[-1]
+
+        # Explicit Mutex interface calls mutate the held set in place
+        # (shared with the enclosing compound's remaining statements).
+        base_qual = ""
+        if base is not None:
+            peeled = self.ex.peel(base)
+            if isinstance(peeled, dict):
+                base_qual = (peeled.get("type") or {}).get("qualType", "")
+        if short in ("Lock", "Unlock", "TryLock", "AssertHeld") and \
+                "Mutex" in base_qual:
+            cap = self.ex.render(base)
+            if cap:
+                if short == "Lock":
+                    self._record_acquire(cap, held, file, line, "Mutex::Lock")
+                    held.append(cap)
+                elif short == "Unlock" and cap in held:
+                    held.remove(cap)
+                elif short == "AssertHeld":
+                    held.append(cap)
+            return
+
+        if key.endswith("CondVar::Wait") or (short == "Wait" and
+                                             "CondVar" in base_qual):
+            target = self.ex.render(args[0]) if args else None
+            self.info.blocking_events.append({
+                "kind": "condvar-wait", "detail": target or "?",
+                "held": tuple(held), "exempt": target,
+                "file": file, "line": line})
+            return
+
+        if short in BLOCKING_BARE_NAMES and key == short:
+            # Unqualified/unresolved name: a libc or std blocking call.
+            self.info.blocking_events.append({
+                "kind": "blocking-call", "detail": short,
+                "held": tuple(held), "exempt": None,
+                "file": file, "line": line})
+        elif short == "join" and "thread" in base_qual:
+            self.info.blocking_events.append({
+                "kind": "thread-join", "detail": "std::thread::join",
+                "held": tuple(held), "exempt": None,
+                "file": file, "line": line})
+        elif any(key.endswith(sfx) for sfx in BLOCKING_QNAME_SUFFIXES):
+            self.info.blocking_events.append({
+                "kind": "blocking-call", "detail": key,
+                "held": tuple(held), "exempt": None,
+                "file": file, "line": line})
+
+        self.info.call_events.append({
+            "callee": key, "held": tuple(held), "file": file, "line": line})
+
+        # Container stores of tainted values into members/statics.
+        if short in CONTAINER_STORE_METHODS and base is not None:
+            if any(self.is_tainted(arg) for arg in args):
+                target = self._lvalue_target(base)
+                if target is not None:
+                    tkind, tname = target
+                    if tkind == "static" or ctx.get("arena"):
+                        self.info.escape_events.append({
+                            "kind": "container-store",
+                            "detail": "%s.%s" % (tname, short),
+                            "scope_active": bool(ctx.get("arena")),
+                            "file": file, "line": line})
